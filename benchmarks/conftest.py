@@ -1,0 +1,55 @@
+"""Shared fixtures for the benchmark harness.
+
+``paper_run`` executes the complete 4-step CONNECT workflow ONCE at the
+paper's full scale (112,249 files / 246 GB subset / 50 GPUs) and is
+shared by every figure/table benchmark; ablations build their own
+smaller testbeds.
+"""
+
+import warnings
+
+import pytest
+
+from repro.testbed import build_nautilus_testbed
+from repro.workflow import WorkflowDriver, build_connect_workflow
+
+#: Paper-reported values every figure bench compares against.
+PAPER = {
+    "step1_minutes": 37.0,
+    "step1_gigabytes": 246.0,
+    "step1_files": 112_249,
+    "step1_pods": 14,
+    "step1_cpus": 42,
+    "fig4_iops_MBps": 593.0,
+    "fig4_throughput_GB": 2.64,
+    "step2_minutes": 306.0,
+    "step2_data_mb": 381,
+    "step3_minutes": 1133.0,
+    "step3_gpus": 50,
+    "step3_voxels": 2.3e10,
+    "step4_data_gb": 5.8,
+}
+
+
+@pytest.fixture(scope="session")
+def paper_run():
+    """(testbed, workflow, report) of a full-scale workflow execution."""
+    with warnings.catch_warnings():
+        warnings.simplefilter("ignore")
+        testbed = build_nautilus_testbed(seed=42, scale=1.0)
+        workflow = build_connect_workflow(testbed)
+        report = WorkflowDriver(testbed).run(workflow)
+    assert report.succeeded, [s.error for s in report.steps]
+    return testbed, workflow, report
+
+
+@pytest.fixture()
+def small_testbed():
+    """A quick testbed for ablation sweeps (5% archive)."""
+    return build_nautilus_testbed(seed=42, scale=0.05)
+
+
+def seed_model_checkpoint(testbed, name: str = "ffn/checkpoint-v1") -> None:
+    """Put a model object in the store so InferenceStep can run alone."""
+    if not testbed.ceph.exists("models", name):
+        testbed.ceph.put_sync("models", name, 4e6)

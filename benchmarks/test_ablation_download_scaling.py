@@ -1,0 +1,60 @@
+"""Ablation A2 — worker-count scaling of the download job.
+
+Paper §III-A uses 10 workers.  The sweep shows *why* 10 is enough: the
+archive server's egress NIC saturates, so extra workers only help by
+hiding each other's merge/store phases — throughput converges to the
+server-side ceiling (~110 MB/s sustained, exactly the paper's
+246 GB / 37 min operating point).
+"""
+
+import warnings
+
+from repro.testbed import build_nautilus_testbed
+from repro.viz import bar_chart
+from repro.workflow import DownloadStep, Workflow, WorkflowDriver
+
+WORKER_COUNTS = (1, 2, 5, 10, 20)
+
+
+def _run_sweep():
+    out = {}
+    for n_workers in WORKER_COUNTS:
+        with warnings.catch_warnings():
+            warnings.simplefilter("ignore")
+            testbed = build_nautilus_testbed(seed=42, scale=0.1)
+            step = DownloadStep(params={"n_workers": n_workers})
+            report = WorkflowDriver(testbed).run(
+                Workflow(f"dl{n_workers}", [step])
+            )
+        assert report.succeeded
+        s = report.steps[0]
+        out[n_workers] = (
+            s.duration_s,
+            s.data_processed_bytes / s.duration_s,  # mean B/s
+        )
+    return out
+
+
+def test_ablation_download_scaling(benchmark):
+    results = benchmark.pedantic(_run_sweep, rounds=1, iterations=1)
+    print()
+    print(bar_chart(
+        [(f"{k:>2} workers", v[0] / 60.0) for k, v in results.items()],
+        unit=" min",
+        title="A2 — download duration vs worker count (10% archive):",
+    ))
+    for k, (dur, rate) in results.items():
+        print(f"  {k:>2} workers: mean throughput {rate / 1e6:6.1f} MB/s")
+
+    durations = {k: v[0] for k, v in results.items()}
+    # More workers helps up to the server ceiling...
+    assert durations[1] > durations[10]
+    # ...then flattens: 20 workers buy <10% over 10 workers.
+    assert durations[10] <= durations[20] * 1.10 + 1.0
+    # The ceiling is the server NIC: sustained rate approaches but never
+    # exceeds 125 MB/s.
+    for _k, (_dur, rate) in results.items():
+        assert rate <= 125e6 * 1.01
+    # (At this 10% scale, pod startup dilutes the mean more than at full
+    # scale, where the sustained rate reaches ~120 MB/s.)
+    assert results[10][1] >= 0.70 * 125e6

@@ -1,0 +1,51 @@
+"""Ablation A1 — GPU-count scaling of the inference step.
+
+Paper §III-C: "The number of GPUs in this section can scale to any
+number depending on the number of inference jobs needed" and "it would
+take a long time for a limited number of GPUs to produce the same
+result".  Sweep the fan-out and confirm near-1/N scaling with straggler
+flattening.
+"""
+
+import warnings
+
+from benchmarks.conftest import seed_model_checkpoint
+from repro.testbed import build_nautilus_testbed
+from repro.viz import bar_chart
+from repro.workflow import InferenceStep, Workflow, WorkflowDriver
+
+GPU_COUNTS = (5, 10, 25, 50)
+
+
+def _run_sweep():
+    durations = {}
+    for n_gpus in GPU_COUNTS:
+        with warnings.catch_warnings():
+            warnings.simplefilter("ignore")
+            testbed = build_nautilus_testbed(seed=42, scale=0.2)
+            seed_model_checkpoint(testbed)
+            step = InferenceStep(params={"n_gpus": n_gpus, "real_ml": False})
+            report = WorkflowDriver(testbed).run(
+                Workflow(f"inf{n_gpus}", [step])
+            )
+        assert report.succeeded
+        durations[n_gpus] = report.steps[0].duration_s
+    return durations
+
+
+def test_ablation_gpu_scaling(benchmark):
+    durations = benchmark.pedantic(_run_sweep, rounds=1, iterations=1)
+    print()
+    print(bar_chart(
+        [(f"{k:>3} GPUs", v / 60.0) for k, v in durations.items()],
+        unit=" min",
+        title="A1 — inference duration vs GPU count (20% archive):",
+    ))
+    # Monotone: more GPUs never slower.
+    values = [durations[k] for k in GPU_COUNTS]
+    assert all(a > b for a, b in zip(values, values[1:]))
+    # Near-linear region: 5 -> 50 GPUs gains at least 7x (ideal 10x,
+    # eroded by per-pod constants and stragglers).
+    assert durations[5] / durations[50] >= 7.0
+    # And never super-linear.
+    assert durations[5] / durations[50] <= 10.5

@@ -1,0 +1,77 @@
+"""Ablation A8 — scheduler strategy: bin-packing vs spreading GPUs.
+
+Not a paper figure, but a design choice DESIGN.md calls out: Nautilus
+serves both many small pods and whole-node 8-GPU jobs.  SPREAD
+scheduling fragments GPU nodes (every node ends up partially used, so an
+8-GPU pod cannot place anywhere); BIN_PACK concentrates the small pods
+and keeps whole nodes free.
+"""
+
+import warnings
+
+from repro.cluster import (
+    Cluster,
+    PodPhase,
+    Scheduler,
+    SchedulingStrategy,
+    fiona8_node_spec,
+)
+from repro.sim import Environment
+from repro.viz import text_table
+from tests.cluster.conftest import sleeper_spec
+
+
+def _run(strategy: SchedulingStrategy):
+    env = Environment()
+    cluster = Cluster(env, scheduler=Scheduler(strategy))
+    for i in range(4):
+        cluster.add_node(fiona8_node_spec(f"gpu-{i}"))  # 32 GPUs total
+    # 8 small long-running 2-GPU pods (16 GPUs of mixed load).
+    for i in range(8):
+        cluster.create_pod(f"small-{i}", sleeper_spec(duration=1e6, gpu=2))
+    env.run(until=60)
+    # Now a whole-node job arrives.
+    big = cluster.create_pod("whole-node", sleeper_spec(duration=50, gpu=8))
+    env.run(until=200)
+    placed = big.phase in (PodPhase.RUNNING, PodPhase.SUCCEEDED)
+    free_whole_nodes = sum(
+        1 for n in cluster.ready_nodes() if n.free.gpu == 8
+    )
+    used_nodes = len(
+        {p.node_name for p in cluster.list_pods(phase=PodPhase.RUNNING)
+         if p.node_name}
+    )
+    return placed, free_whole_nodes, used_nodes
+
+
+def _run_pair():
+    with warnings.catch_warnings():
+        warnings.simplefilter("ignore")
+        return {
+            strategy.value: _run(strategy)
+            for strategy in (SchedulingStrategy.SPREAD,
+                             SchedulingStrategy.BIN_PACK)
+        }
+
+
+def test_ablation_scheduler_strategy(benchmark):
+    results = benchmark.pedantic(_run_pair, rounds=1, iterations=1)
+    print()
+    print(text_table(
+        ["strategy", "8-GPU pod placed", "whole nodes free", "nodes used"],
+        [
+            (name, placed, free, used)
+            for name, (placed, free, used) in results.items()
+        ],
+        title="A8 — 8x 2-GPU pods + one whole-node 8-GPU pod on 4 nodes:",
+    ))
+    spread_placed, spread_free, spread_used = results["spread"]
+    pack_placed, pack_free, pack_used = results["bin-pack"]
+    # Spreading uses every node, fragmenting all of them...
+    assert spread_used == 4
+    assert spread_free == 0
+    assert not spread_placed  # the whole-node job starves
+    # ...bin-packing concentrates load and keeps whole nodes free.
+    assert pack_used <= 2 + 1  # 2 packed nodes + possibly the big pod's
+    assert pack_free >= 1
+    assert pack_placed

@@ -1,0 +1,29 @@
+"""Figure 1 — the PRP/Nautilus deployment (topology + storage inventory).
+
+Paper: "a network of distributed fast GPU appliances for machine
+learning and storage managed through Kubernetes on the high-speed
+(10-100Gbps) Pacific Research Platform"; >20 partner institutions, four
+supercomputer centers, over a petabyte of Ceph storage.
+"""
+
+from repro.testbed import build_nautilus_testbed
+from repro.viz import render_figure1
+
+
+def test_fig1_topology(benchmark):
+    testbed = benchmark(build_nautilus_testbed, seed=42, scale=0.01)
+    print()
+    print(render_figure1(testbed))
+    fig = testbed.figure1_summary()
+
+    # Paper-shape assertions.
+    assert fig["prp_sites"] >= 20  # "more than 20 institutions"
+    assert fig["core_sites"] >= 4  # "four NSF/DOE/NASA supercomputer centers"
+    assert fig["wan_link_speeds_gbps"] == [10.0, 40.0, 100.0]  # "10G, 40G, 100G"
+    assert fig["storage_petabytes"] >= 1.0  # "over a petabyte of storage"
+    assert fig["gpus"] >= 50  # enough for the step-3 fan-out
+    assert fig["fiona8_nodes"] >= 7  # 50 GPUs / 8 per FIONA8
+
+    # Every node is reachable from the THREDDS server over the PRP.
+    for name in testbed.cluster.nodes:
+        assert testbed.topology.route("its-dtn-02", name)

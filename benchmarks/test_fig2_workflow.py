@@ -1,0 +1,27 @@
+"""Figure 2 — the workflow steps diagram.
+
+Paper: "the steps taken in the accelerated workflow include: 1.
+downloading data from THREDDS and data preparation, 2. model training,
+and 3. distributed multi-GPU model inference.  Step 4, the final step,
+is visualization."
+"""
+
+from repro.viz import render_figure2
+from repro.workflow import build_connect_workflow
+
+
+def test_fig2_workflow(benchmark):
+    workflow = benchmark(build_connect_workflow)
+    print()
+    print(render_figure2(workflow))
+
+    assert workflow.order == ["download", "training", "inference",
+                              "visualization"]
+    # The chain structure of Figure 2: each step waits on its predecessor.
+    assert workflow.steps["training"].depends_on == ["download"]
+    assert workflow.steps["inference"].depends_on == ["training"]
+    assert workflow.steps["visualization"].depends_on == ["inference"]
+    # Each step runs its own container image (§III: "multiple Docker
+    # images for job specific tasks").
+    images = {s.image for s in workflow}
+    assert len(images) == 4

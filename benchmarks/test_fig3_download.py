@@ -1,0 +1,30 @@
+"""Figure 3 — Kubernetes data download job orchestration.
+
+Paper: "10 Workers, managed by a Redis job queue (each color represents
+a worker).  Total time to run is 37 minutes with a total data size
+transfer of 246GB (112,249 NetCDF files)."
+"""
+
+from benchmarks.conftest import PAPER
+from repro.viz import figure3_stats, render_figure3
+
+
+def test_fig3_download(paper_run, benchmark):
+    testbed, _, report = paper_run
+    stats = benchmark(figure3_stats, testbed, report)
+    print()
+    print(render_figure3(testbed, report))
+    print(f"\npaper: {PAPER['step1_minutes']:.0f} min, "
+          f"{PAPER['step1_gigabytes']:.0f} GB, {PAPER['step1_files']:,} files"
+          f" | measured: {stats['minutes']:.1f} min, "
+          f"{stats['gigabytes']:.0f} GB, {stats['files']:,.0f} files")
+
+    # Byte- and file-exact.
+    assert stats["files"] == PAPER["step1_files"]
+    assert abs(stats["gigabytes"] - PAPER["step1_gigabytes"]) < 1.0
+    # 10 workers via the Redis queue; 14 pods / 42 CPUs (Table I).
+    assert stats["workers"] >= 10
+    assert stats["pods"] == PAPER["step1_pods"]
+    assert round(stats["cpus"]) == PAPER["step1_cpus"]
+    # Duration shape: within ~25% of the paper's 37 minutes.
+    assert 0.75 * PAPER["step1_minutes"] <= stats["minutes"] <= 1.25 * PAPER["step1_minutes"]

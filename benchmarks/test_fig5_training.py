@@ -1,0 +1,38 @@
+"""Figure 5 — the training job: data preparation vs FFN training.
+
+Paper: "Purple shows the data preparation job.  Green is the FFN
+algorithm training on a 576x361x240 data volume. ... Step 2's total run
+time is 306 minutes" on a single NVIDIA 1080ti.
+"""
+
+from benchmarks.conftest import PAPER
+from repro.viz import figure5_stats, render_figure5
+
+
+def test_fig5_training(paper_run, benchmark):
+    testbed, _, report = paper_run
+    stats = benchmark(figure5_stats, testbed, report)
+    print()
+    print(render_figure5(testbed, report))
+    print(f"\npaper: {PAPER['step2_minutes']:.0f} min total | measured: "
+          f"{stats['total_minutes']:.1f} min "
+          f"(prep {stats['prep_minutes']:.1f} + train "
+          f"{stats['train_minutes']:.1f})")
+
+    # Total within 5% of the paper's 306 minutes.
+    assert abs(stats["total_minutes"] - PAPER["step2_minutes"]) <= 0.05 * PAPER["step2_minutes"]
+    # The Figure-5 shape: prep is a visible but minor band before the
+    # long training band.
+    assert stats["prep_minutes"] > 10.0
+    assert stats["train_minutes"] > 3.0 * stats["prep_minutes"]
+    # The training volume is the paper's 576x361x240.
+    assert stats["train_voxels"] == 576 * 361 * 240
+    # Table I: single pod, 1 CPU, 1 GPU, 381 MB, 14.8 GB.
+    step = report.step("training")
+    assert (step.pods, round(step.cpus), step.gpus) == (1, 1, 1)
+    assert step.data_processed_bytes == PAPER["step2_data_mb"] * 1e6
+    assert round(step.memory_bytes / 1e9, 1) == 14.8
+
+    # The real FFN genuinely learned during this run.
+    training_report = step.artifacts["training_report"]
+    assert training_report.improved

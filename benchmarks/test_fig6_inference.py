@@ -1,0 +1,36 @@
+"""Figure 6 — the inference job: CPU / memory / GPU utilization.
+
+Paper: "The entire 246GB (576x361x112,249 or 2.3e10 voxels) is evenly
+distributed across the 50 GPUs and the total inference time is 18 hours
+53 minutes (1133 minutes)."
+"""
+
+from benchmarks.conftest import PAPER
+from repro.viz import figure6_stats, render_figure6
+
+
+def test_fig6_inference(paper_run, benchmark):
+    testbed, _, report = paper_run
+    stats = benchmark(figure6_stats, testbed, report)
+    print()
+    print(render_figure6(testbed, report))
+    print(f"\npaper: {PAPER['step3_minutes']:.0f} min on "
+          f"{PAPER['step3_gpus']} GPUs | measured: {stats['minutes']:.1f} min "
+          f"on {stats['gpus']:.0f} GPUs (peak in use "
+          f"{stats['peak_gpus_in_use']:.0f})")
+
+    # 50 GPUs, all simultaneously busy at peak.
+    assert stats["gpus"] == PAPER["step3_gpus"]
+    assert stats["peak_gpus_in_use"] >= 50
+    # The sharded volume is voxel-exact: 576 x 361 x 112,249.
+    assert stats["voxels"] == 576 * 361 * 112_249
+    assert abs(stats["voxels"] - PAPER["step3_voxels"]) / PAPER["step3_voxels"] < 0.02
+    # Duration within ~10% of the paper (stragglers + shard reads ride on
+    # top of the calibrated mean GPU throughput).
+    assert abs(stats["minutes"] - PAPER["step3_minutes"]) <= 0.10 * PAPER["step3_minutes"]
+    # Table I row: 50 pods / 50 CPUs / 600 GB.
+    step = report.step("inference")
+    assert (step.pods, round(step.cpus)) == (50, 50)
+    assert round(step.memory_bytes / 1e9) == 600
+    # Step 4's data: results land at ~5.8 GB (0.25 B/voxel packing).
+    assert abs(step.artifacts["result_bytes"] / 1e9 - PAPER["step4_data_gb"]) < 0.2

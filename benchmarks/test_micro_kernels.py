@@ -1,0 +1,85 @@
+"""Micro-benchmarks of the hot computational kernels.
+
+Not paper artifacts — these track the performance of the NumPy kernels
+everything else is built on (the HPC guide's "no optimization without
+measuring").  pytest-benchmark runs each with many rounds, so regressions
+in the vectorized paths show up immediately.
+"""
+
+import numpy as np
+import pytest
+
+from repro.data.merra import GridSpec, MerraGenerator
+from repro.ml.conv3d import conv3d_backward, conv3d_forward
+from repro.ml.connect import label_volume
+from repro.ml.ffn import FFNConfig, FFNModel
+from repro.netsim.flows import CapacityResource, Flow, max_min_rates
+from repro.storage.crush import place
+from repro.storage.osd import OSD
+
+
+@pytest.fixture(scope="module")
+def conv_inputs():
+    rng = np.random.default_rng(0)
+    x = rng.normal(size=(8, 16, 16, 16)).astype(np.float32)
+    w = rng.normal(size=(8, 8, 3, 3, 3)).astype(np.float32) * 0.1
+    b = np.zeros(8, dtype=np.float32)
+    return x, w, b
+
+
+def test_micro_conv3d_forward(benchmark, conv_inputs):
+    x, w, b = conv_inputs
+    y = benchmark(conv3d_forward, x, w, b)
+    assert y.shape == (8, 16, 16, 16)
+
+
+def test_micro_conv3d_backward(benchmark, conv_inputs):
+    x, w, _ = conv_inputs
+    grad_y = np.ones((8, 16, 16, 16), dtype=np.float32)
+    gx, gw, gb = benchmark(conv3d_backward, x, w, grad_y)
+    assert gx.shape == x.shape
+
+
+def test_micro_ffn_forward(benchmark):
+    model = FFNModel(FFNConfig(fov=(9, 9, 9), filters=8, modules=2, seed=0))
+    rng = np.random.default_rng(1)
+    image = rng.normal(size=(9, 9, 9)).astype(np.float32)
+    mask = np.full((9, 9, 9), model.config.init_logit, dtype=np.float32)
+    out = benchmark(model.forward, image, mask)
+    assert out.shape == (9, 9, 9)
+
+
+def test_micro_ivt_field(benchmark):
+    gen = MerraGenerator(GridSpec(nlat=181, nlon=288, nlev=16), seed=0)
+    ivt = benchmark(gen.ivt_field, 0)
+    assert ivt.shape == (181, 288)
+
+
+def test_micro_connect_labeling(benchmark):
+    rng = np.random.default_rng(2)
+    mask = rng.random((24, 90, 144)) > 0.9
+    labels, n = benchmark(label_volume, mask)
+    assert n > 0
+
+
+def test_micro_max_min_rates(benchmark):
+    resources = [CapacityResource(f"r{i}", 1e9) for i in range(20)]
+    rng = np.random.default_rng(3)
+    flows = []
+    for k in range(200):
+        picks = rng.choice(20, size=int(rng.integers(1, 5)), replace=False)
+        flows.append(
+            Flow(f"f{k}", [resources[i] for i in picks], 1e9, None, 0.0)
+        )
+    rates = benchmark(max_min_rates, flows)
+    assert len(rates) == 200
+
+
+def test_micro_crush_placement(benchmark):
+    osds = [OSD(i, f"host{i % 16}", 50e12) for i in range(64)]
+
+    def place_many():
+        return [place(pg, osds, 3) for pg in range(256)]
+
+    out = benchmark(place_many)
+    assert len(out) == 256

@@ -1,0 +1,88 @@
+#!/usr/bin/env python
+"""The full CONNECT case study (paper §III) with every figure rendered.
+
+Runs the 4-step workflow at the scale given on the command line
+(default 1.0 = the paper's full 112,249-file / 246 GB archive — byte
+accounting is simulated, ML runs for real at laptop scale) and prints
+Figures 1–6 and Table I next to the paper's reported values.
+
+Run:  python examples/connect_case_study.py [scale]
+      python examples/connect_case_study.py 0.01   # 1% archive, faster
+"""
+
+import sys
+
+from repro.testbed import build_nautilus_testbed
+from repro.viz import (
+    figure3_stats,
+    figure4_stats,
+    figure5_stats,
+    figure6_stats,
+    render_figure1,
+    render_figure2,
+    render_figure3,
+    render_figure4,
+    render_figure5,
+    render_figure6,
+    render_table1,
+)
+from repro.workflow import WorkflowDriver, build_connect_workflow
+
+PAPER = {
+    "fig3_minutes": 37.0,
+    "fig3_gigabytes": 246.0,
+    "fig3_files": 112_249,
+    "fig4_iops_MBps": 593.0,
+    "fig5_total_minutes": 306.0,
+    "fig6_minutes": 1133.0,
+    "fig6_gpus": 50,
+}
+
+
+def main() -> None:
+    scale = float(sys.argv[1]) if len(sys.argv) > 1 else 1.0
+    print(f"Building Nautilus at scale={scale} ...")
+    testbed = build_nautilus_testbed(seed=42, scale=scale)
+    workflow = build_connect_workflow(testbed)
+
+    print(render_figure1(testbed))
+    print()
+    print(render_figure2(workflow))
+
+    print("\nExecuting the workflow ...")
+    report = WorkflowDriver(testbed).run(workflow)
+    assert report.succeeded, [s.error for s in report.steps]
+
+    print()
+    print(render_figure3(testbed, report))
+    print()
+    print(render_figure4(testbed, report))
+    print()
+    print(render_figure5(testbed, report))
+    print()
+    print(render_figure6(testbed, report))
+    print()
+    print(render_table1(report))
+
+    f3 = figure3_stats(testbed, report)
+    f4 = figure4_stats(testbed, report)
+    f5 = figure5_stats(testbed, report)
+    f6 = figure6_stats(testbed, report)
+    print("\nPaper vs measured (full scale reference values):")
+    rows = [
+        ("step 1 duration (min)", PAPER["fig3_minutes"], f3["minutes"]),
+        ("step 1 data (GB)", PAPER["fig3_gigabytes"] * scale, f3["gigabytes"]),
+        ("step 1 files", PAPER["fig3_files"] * scale, f3["files"]),
+        ("fig 4 storage peak (MB/s)", PAPER["fig4_iops_MBps"],
+         f4["storage_write_peak_MBps"]),
+        ("step 2 total (min)", PAPER["fig5_total_minutes"],
+         f5["total_minutes"]),
+        ("step 3 duration (min)", PAPER["fig6_minutes"], f6["minutes"]),
+        ("step 3 GPUs", PAPER["fig6_gpus"], f6["gpus"]),
+    ]
+    for name, paper, measured in rows:
+        print(f"  {name:<28} paper={paper:>10.1f}  measured={measured:>10.1f}")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,60 @@
+#!/usr/bin/env python
+"""Queue-driven hyperparameter sweep (paper §III-E.3).
+
+"A Redis queue is being developed to store model training/testing
+validation split methodologies and parameters sets to be used in
+multi-model validation."  Worker pods pop parameter sets, train a real
+NumPy FFN on the training window of the synthetic MERRA archive, and
+score each candidate on a disjoint validation window.
+
+Run:  python examples/hyperparameter_sweep.py
+"""
+
+from repro.testbed import build_nautilus_testbed
+from repro.viz import bar_chart
+from repro.workflow import HyperparameterSweep
+from repro.workflow.driver import run_single_step
+
+
+def main() -> None:
+    testbed = build_nautilus_testbed(seed=42, scale=0.001)
+    grid = (
+        {"lr": 0.05, "filters": 4},
+        {"lr": 0.05, "filters": 6},
+        {"lr": 0.1, "filters": 4},
+        {"lr": 0.1, "filters": 6},
+        {"lr": 0.2, "filters": 6},
+        {"lr": 0.3, "filters": 8},
+    )
+    step = HyperparameterSweep(
+        params={
+            "param_grid": grid,
+            "n_workers": 3,
+            "train_window": (0, 12),
+            "validation_window": (12, 20),
+            "train_steps": 30,
+        }
+    )
+    print(f"Sweeping {len(grid)} configurations on 3 GPU worker pods...")
+    report = run_single_step(testbed, step)
+    assert report.succeeded, report.error
+
+    art = report.artifacts
+    items = [
+        (
+            f"lr={r['params']['lr']:<5} filters={r['params']['filters']}",
+            r["validation_loss"],
+        )
+        for r in sorted(art["results"], key=lambda r: r["validation_loss"])
+    ]
+    print()
+    print(bar_chart(items, unit=" val-loss", title="Validation loss by config "
+                                                   "(lower is better):"))
+    print(f"\nbest: {art['best_params']} "
+          f"(validation loss {art['best_validation_loss']:.3f})")
+    print(f"sweep wall time on the cluster: {report.duration_minutes:.1f} "
+          f"simulated minutes across {report.gpus} peak GPUs")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,12 @@
+"""Setuptools shim.
+
+``pip install -e .`` uses pyproject.toml (PEP 517/660) and needs the
+``wheel`` package; fully offline environments without it can fall back to
+the legacy editable install this shim enables::
+
+    python setup.py develop
+"""
+
+from setuptools import setup
+
+setup()

@@ -1,0 +1,137 @@
+"""Failure injection for the dynamic-infrastructure story.
+
+Paper §V: "The CHASE-CI infrastructure is very dynamic in the fact that
+nodes can join and leave the cluster at any time."  The chaos monkey
+makes that dynamism reproducible: a seeded process that fails and
+recovers random nodes (and optionally OSDs) on a schedule, so tests and
+ablations can assert workflow-level invariants (completion, exactly-once
+work) under sustained churn.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import typing as _t
+
+from repro.cluster.pod import PodPhase
+from repro.sim.rng import derive_seed
+
+import numpy as np
+
+if _t.TYPE_CHECKING:  # pragma: no cover
+    from repro.testbed import NautilusTestbed
+
+__all__ = ["ChaosEvent", "ChaosMonkey"]
+
+
+@dataclasses.dataclass(frozen=True)
+class ChaosEvent:
+    """One injected failure or recovery."""
+
+    time: float
+    kind: str  # "node-fail" | "node-recover" | "osd-fail"
+    target: str
+
+
+class ChaosMonkey:
+    """Seeded periodic node/OSD failure injection.
+
+    Parameters
+    ----------
+    testbed:
+        The deployment to torment.
+    mean_interval:
+        Mean seconds between failure injections (exponential).
+    recovery_after:
+        Seconds a failed node stays down before rejoining.
+    target_busy_nodes:
+        Prefer nodes with running pods (maximizes the blast radius the
+        self-healing machinery must absorb).
+    include_osds:
+        Also fail storage daemons (Ceph recovery must then re-replicate).
+    max_failures:
+        Stop after this many injections (None = unbounded).
+    """
+
+    def __init__(
+        self,
+        testbed: "NautilusTestbed",
+        mean_interval: float = 300.0,
+        recovery_after: float = 120.0,
+        target_busy_nodes: bool = True,
+        include_osds: bool = False,
+        max_failures: int | None = None,
+        seed: int = 0,
+    ):
+        if mean_interval <= 0 or recovery_after < 0:
+            raise ValueError("intervals must be positive")
+        self.testbed = testbed
+        self.mean_interval = mean_interval
+        self.recovery_after = recovery_after
+        self.target_busy_nodes = target_busy_nodes
+        self.include_osds = include_osds
+        self.max_failures = max_failures
+        self.rng = np.random.default_rng(derive_seed(seed, "chaos"))
+        self.events: list[ChaosEvent] = []
+        self._stopped = False
+        testbed.env.process(self._loop(), name="chaos-monkey")
+
+    def stop(self) -> None:
+        """No further injections (pending recoveries still happen)."""
+        self._stopped = True
+
+    @property
+    def failures_injected(self) -> int:
+        return sum(1 for e in self.events if e.kind.endswith("-fail"))
+
+    # -- internals ------------------------------------------------------------------
+
+    def _pick_node(self) -> str | None:
+        cluster = self.testbed.cluster
+        ready = cluster.ready_nodes()
+        if len(ready) <= 1:
+            return None  # never take the last node out
+        if self.target_busy_nodes:
+            busy = [
+                n for n in ready
+                if any(
+                    p.phase is PodPhase.RUNNING for p in n.pods.values()
+                )
+            ]
+            pool = busy or ready
+        else:
+            pool = ready
+        return pool[int(self.rng.integers(0, len(pool)))].spec.name
+
+    def _loop(self):
+        env = self.testbed.env
+        while not self._stopped:
+            yield env.timeout(float(self.rng.exponential(self.mean_interval)))
+            if self._stopped:
+                return
+            if (
+                self.max_failures is not None
+                and self.failures_injected >= self.max_failures
+            ):
+                return
+            if self.include_osds and self.rng.random() < 0.3:
+                up = [o for o in self.testbed.ceph.osds.values() if o.up]
+                if len(up) > 3:
+                    victim = up[int(self.rng.integers(0, len(up)))]
+                    self.testbed.ceph.fail_osd(victim.id)
+                    self.events.append(
+                        ChaosEvent(env.now, "osd-fail", f"osd.{victim.id}")
+                    )
+                continue
+            name = self._pick_node()
+            if name is None:
+                continue
+            self.testbed.cluster.fail_node(name)
+            self.events.append(ChaosEvent(env.now, "node-fail", name))
+            env.process(self._recover_later(name), name=f"chaos-heal:{name}")
+
+    def _recover_later(self, name: str):
+        env = self.testbed.env
+        yield env.timeout(self.recovery_after)
+        self.testbed.cluster.recover_node(name)
+        self.events.append(ChaosEvent(env.now, "node-recover", name))

@@ -1,0 +1,144 @@
+"""Command-line interface: ``python -m repro <command>``.
+
+Commands
+--------
+``inventory``
+    Build a testbed and print the Figure-1 deployment inventory.
+``describe``
+    Print the Figure-2 workflow-step view.
+``run``
+    Execute the 4-step CONNECT workflow and print Table I (and, with
+    ``--figures``, Figures 3–6).
+``version``
+    Print the package version.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+import typing as _t
+import warnings
+
+from repro._version import __version__
+
+__all__ = ["build_parser", "main"]
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description=(
+            "Reproduction of 'Workflow-Driven Distributed Machine Learning "
+            "in CHASE-CI' (Altintas et al., 2019)"
+        ),
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    def common(p: argparse.ArgumentParser) -> None:
+        p.add_argument("--seed", type=int, default=42, help="root seed")
+        p.add_argument(
+            "--scale",
+            type=float,
+            default=0.005,
+            help="archive fraction (1.0 = the paper's 112,249 files)",
+        )
+
+    p_inv = sub.add_parser("inventory", help="print the Figure-1 inventory")
+    common(p_inv)
+
+    p_desc = sub.add_parser("describe", help="print the Figure-2 step view")
+    p_desc.add_argument("--workers", type=int, default=10)
+    p_desc.add_argument("--gpus", type=int, default=50)
+
+    p_run = sub.add_parser("run", help="run the CONNECT workflow")
+    common(p_run)
+    p_run.add_argument("--workers", type=int, default=10,
+                       help="step-1 download workers")
+    p_run.add_argument("--gpus", type=int, default=50,
+                       help="step-3 inference GPUs")
+    p_run.add_argument("--no-real-ml", action="store_true",
+                       help="skip the real NumPy FFN (timing model only)")
+    p_run.add_argument("--no-subset", action="store_true",
+                       help="download entire files instead of IVT variables")
+    p_run.add_argument("--figures", action="store_true",
+                       help="also print Figures 3-6")
+
+    sub.add_parser("version", help="print the package version")
+    return parser
+
+
+def _cmd_inventory(args: argparse.Namespace) -> int:
+    from repro.testbed import build_nautilus_testbed
+    from repro.viz import render_figure1
+
+    testbed = build_nautilus_testbed(seed=args.seed, scale=args.scale)
+    print(render_figure1(testbed))
+    return 0
+
+
+def _cmd_describe(args: argparse.Namespace) -> int:
+    from repro.viz import render_figure2
+    from repro.workflow import build_connect_workflow
+
+    workflow = build_connect_workflow(
+        n_workers=args.workers, n_gpus=args.gpus
+    )
+    print(render_figure2(workflow))
+    return 0
+
+
+def _cmd_run(args: argparse.Namespace) -> int:
+    from repro.testbed import build_nautilus_testbed
+    from repro.viz import (
+        render_figure3,
+        render_figure4,
+        render_figure5,
+        render_figure6,
+        render_table1,
+    )
+    from repro.workflow import WorkflowDriver, build_connect_workflow
+
+    with warnings.catch_warnings():
+        warnings.simplefilter("ignore")
+        testbed = build_nautilus_testbed(seed=args.seed, scale=args.scale)
+        workflow = build_connect_workflow(
+            testbed,
+            n_workers=args.workers,
+            n_gpus=args.gpus,
+            subset=not args.no_subset,
+            real_ml=not args.no_real_ml,
+        )
+        print(f"Running workflow {workflow.name!r} at scale={args.scale} "
+              f"({len(testbed.archive):,} granules)...")
+        report = WorkflowDriver(testbed).run(workflow)
+
+    if args.figures:
+        for renderer in (render_figure3, render_figure4, render_figure5,
+                         render_figure6):
+            print()
+            print(renderer(testbed, report))
+    print()
+    print(render_table1(report))
+    if not report.succeeded:
+        for step in report.steps:
+            if not step.succeeded:
+                print(f"FAILED step {step.name}: {step.error}",
+                      file=sys.stderr)
+        return 1
+    return 0
+
+
+def main(argv: _t.Sequence[str] | None = None) -> int:
+    """Entry point; returns a process exit code."""
+    args = build_parser().parse_args(argv)
+    if args.command == "version":
+        print(__version__)
+        return 0
+    if args.command == "inventory":
+        return _cmd_inventory(args)
+    if args.command == "describe":
+        return _cmd_describe(args)
+    if args.command == "run":
+        return _cmd_run(args)
+    raise AssertionError(f"unhandled command {args.command!r}")  # pragma: no cover

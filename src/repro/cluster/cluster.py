@@ -1,0 +1,598 @@
+"""The cluster: API-server facade, scheduling loop, kubelets, self-healing.
+
+One :class:`Cluster` owns the registries of nodes, namespaces, pods, jobs,
+replica sets and services, and drives three behaviours on the simulation
+kernel:
+
+- **Scheduling**: pending pods are bound to nodes via the two-phase
+  :class:`~repro.cluster.scheduler.Scheduler` whenever cluster state
+  changes (pod created, pod finished, node joined/recovered).
+- **Kubelet execution**: a bound pod pulls cold images (simulated delay),
+  runs its container generators as kernel processes, and reports a
+  terminal phase.
+- **Self-healing** (§V): nodes "can join and leave the cluster at any
+  time"; on node failure every pod on it is marked failed with reason
+  ``NodeLost`` and the owning controllers immediately create replacements
+  on surviving nodes.
+"""
+
+from __future__ import annotations
+
+import typing as _t
+
+from repro.cluster.controllers import (
+    DaemonSet,
+    DaemonSetSpec,
+    Job,
+    JobSpec,
+    ReplicaSet,
+    ReplicaSetSpec,
+)
+from repro.cluster.namespace import Namespace, ResourceQuota
+from repro.cluster.node import Node, NodeSpec
+from repro.cluster.objects import ClusterEvent, ObjectMeta
+from repro.cluster.pod import Pod, PodContext, PodPhase, PodSpec, RestartPolicy
+from repro.cluster.scheduler import Scheduler, SchedulingStrategy
+from repro.cluster.service import Service
+from repro.errors import (
+    ConflictError,
+    NotFoundError,
+    ProcessKilled,
+    QuotaExceededError,
+)
+from repro.sim import Environment
+
+__all__ = ["Cluster"]
+
+#: Simulated latency between a pod binding and its containers starting
+#: (API round-trips, cgroup setup, volume mounts).
+POD_STARTUP_SECONDS = 2.0
+
+
+class Cluster:
+    """A Kubernetes-like cluster running on a simulation environment.
+
+    Parameters
+    ----------
+    env:
+        The discrete-event environment.
+    name:
+        Cluster name (the paper's is "Nautilus").
+    scheduler:
+        Placement policy; defaults to spread scheduling.
+    """
+
+    def __init__(
+        self,
+        env: Environment,
+        name: str = "nautilus",
+        scheduler: Scheduler | None = None,
+    ):
+        self.env = env
+        self.name = name
+        self.scheduler = scheduler or Scheduler(SchedulingStrategy.SPREAD)
+        self.nodes: dict[str, Node] = {}
+        self.namespaces: dict[str, Namespace] = {"default": Namespace("default")}
+        self.pods: dict[tuple[str, str], Pod] = {}
+        self.jobs: dict[tuple[str, str], Job] = {}
+        self.replicasets: dict[tuple[str, str], ReplicaSet] = {}
+        self.daemonsets: dict[tuple[str, str], DaemonSet] = {}
+        self.services: dict[tuple[str, str], Service] = {}
+        self.events: list[ClusterEvent] = []
+        self._pending: list[Pod] = []
+        self._kick_scheduled = False
+        #: hooks called as (pod, old_phase, new_phase) on every transition
+        self.phase_hooks: list[_t.Callable[[Pod, PodPhase, PodPhase], None]] = []
+
+    # ------------------------------------------------------------------ events
+
+    def record_event(
+        self,
+        kind: str,
+        name: str,
+        reason: str,
+        message: str = "",
+        namespace: str = "default",
+    ) -> None:
+        """Append to the control-plane event log."""
+        self.events.append(
+            ClusterEvent(
+                time=self.env.now,
+                kind=kind,
+                name=name,
+                reason=reason,
+                message=message,
+                namespace=namespace,
+            )
+        )
+
+    def events_for(self, kind: str, name: str | None = None) -> list[ClusterEvent]:
+        """Filter the event log by object kind (and optionally name)."""
+        return [
+            e
+            for e in self.events
+            if e.kind == kind and (name is None or e.name == name)
+        ]
+
+    # ------------------------------------------------------------------- nodes
+
+    def add_node(self, spec: NodeSpec) -> Node:
+        """Join a machine to the cluster."""
+        if spec.name in self.nodes:
+            raise ConflictError(f"node {spec.name!r} already exists")
+        node = Node(spec)
+        self.nodes[spec.name] = node
+        self.record_event("Node", spec.name, "NodeJoined", f"site={spec.site}")
+        self._reconcile_all()  # daemonsets cover the new node immediately
+        self._kick_scheduler()
+        return node
+
+    def get_node(self, name: str) -> Node:
+        try:
+            return self.nodes[name]
+        except KeyError:
+            raise NotFoundError(f"no node {name!r}") from None
+
+    def ready_nodes(self) -> list[Node]:
+        """Nodes currently accepting pods, in deterministic name order."""
+        return [self.nodes[k] for k in sorted(self.nodes) if self.nodes[k].ready]
+
+    def fail_node(self, name: str) -> None:
+        """Take a node offline; its pods fail and get rescheduled (§V)."""
+        node = self.get_node(name)
+        if not node.ready:
+            return
+        node.ready = False
+        self.record_event("Node", name, "NodeLost", "node left the cluster")
+        for pod in list(node.pods.values()):
+            self._terminate_pod(pod, PodPhase.FAILED, reason="NodeLost")
+        self._reconcile_all()
+        self._kick_scheduler()
+
+    def cordon(self, name: str) -> None:
+        """Mark a node unschedulable; running pods are untouched."""
+        node = self.get_node(name)
+        if node.unschedulable:
+            return
+        node.unschedulable = True
+        self.record_event("Node", name, "Cordoned", "marked unschedulable")
+
+    def uncordon(self, name: str) -> None:
+        """Allow scheduling on a cordoned node again."""
+        node = self.get_node(name)
+        if not node.unschedulable:
+            return
+        node.unschedulable = False
+        self.record_event("Node", name, "Uncordoned", "")
+        self._kick_scheduler()
+
+    def drain(self, name: str) -> None:
+        """Cordon a node and evict its pods for maintenance.
+
+        Controllers immediately recreate the evicted pods on other nodes —
+        the graceful variant of the §V node-departure story.
+        """
+        self.cordon(name)
+        node = self.get_node(name)
+        self.record_event("Node", name, "Draining", f"{len(node.pods)} pods")
+        for pod in list(node.pods.values()):
+            self._terminate_pod(pod, PodPhase.FAILED, reason="Drained")
+        self._reconcile_all()
+        self._kick_scheduler()
+
+    def recover_node(self, name: str) -> None:
+        """Bring a failed node back."""
+        node = self.get_node(name)
+        if node.ready:
+            return
+        node.ready = True
+        self.record_event("Node", name, "NodeReady", "node rejoined the cluster")
+        self._reconcile_all()
+        self._kick_scheduler()
+
+    def total_capacity(self) -> dict[str, float]:
+        """Aggregate CPU/memory/GPU across ready nodes."""
+        cpu = mem = gpu = 0.0
+        for node in self.ready_nodes():
+            cpu += node.capacity.cpu
+            mem += node.capacity.memory
+            gpu += node.capacity.gpu
+        return {"cpu": cpu, "memory": mem, "gpu": gpu}
+
+    def utilization(self) -> dict[str, float]:
+        """Fraction of each resource dimension currently allocated."""
+        cap = self.total_capacity()
+        used = {"cpu": 0.0, "memory": 0.0, "gpu": 0.0}
+        for node in self.ready_nodes():
+            used["cpu"] += node.allocated.cpu
+            used["memory"] += node.allocated.memory
+            used["gpu"] += node.allocated.gpu
+        return {
+            k: (used[k] / cap[k] if cap[k] else 0.0) for k in used
+        }
+
+    # -------------------------------------------------------------- namespaces
+
+    def create_namespace(
+        self,
+        name: str,
+        quota: ResourceQuota | None = None,
+        administrator: str = "",
+    ) -> Namespace:
+        """Create a virtual cluster (§IV)."""
+        if name in self.namespaces:
+            raise ConflictError(f"namespace {name!r} already exists")
+        ns = Namespace(name, quota=quota, administrator=administrator)
+        self.namespaces[name] = ns
+        self.record_event("Namespace", name, "Created", f"admin={administrator}")
+        return ns
+
+    def get_namespace(self, name: str) -> Namespace:
+        try:
+            return self.namespaces[name]
+        except KeyError:
+            raise NotFoundError(f"no namespace {name!r}") from None
+
+    # -------------------------------------------------------------------- pods
+
+    def create_pod(
+        self,
+        name: str,
+        spec: PodSpec,
+        namespace: str = "default",
+        labels: dict[str, str] | None = None,
+    ) -> Pod:
+        """Admit a pod (charging namespace quota) and queue it for
+        scheduling.  Raises :class:`QuotaExceededError` on quota breach."""
+        ns = self.get_namespace(namespace)
+        key = (namespace, name)
+        if key in self.pods and not self.pods[key].is_terminal:
+            raise ConflictError(f"pod {namespace}/{name} already exists")
+        meta = ObjectMeta(
+            name=name,
+            namespace=namespace,
+            labels=dict(labels or {}),
+            creation_time=self.env.now,
+        )
+        pod = Pod(meta, spec)
+        ns.admit(spec.total_request())  # may raise QuotaExceededError
+        self.pods[key] = pod
+        self._pending.append(pod)
+        self.record_event("Pod", name, "Created", namespace=namespace)
+        self._kick_scheduler()
+        return pod
+
+    def get_pod(self, name: str, namespace: str = "default") -> Pod:
+        try:
+            return self.pods[(namespace, name)]
+        except KeyError:
+            raise NotFoundError(f"no pod {namespace}/{name}") from None
+
+    def list_pods(
+        self,
+        namespace: str | None = None,
+        selector: dict[str, str] | None = None,
+        phase: PodPhase | None = None,
+    ) -> list[Pod]:
+        """Pods filtered by namespace / label selector / phase."""
+        out = []
+        for (ns, _name), pod in sorted(self.pods.items()):
+            if namespace is not None and ns != namespace:
+                continue
+            if selector is not None and not pod.meta.matches(selector):
+                continue
+            if phase is not None and pod.phase is not phase:
+                continue
+            out.append(pod)
+        return out
+
+    def delete_pod(self, pod: Pod) -> None:
+        """Remove a pod: interrupts it if running, dequeues it if pending."""
+        if pod.is_terminal:
+            return
+        if pod.node_name is None:
+            # Not yet bound to a node: dequeue and fail in place.  (A bound
+            # pod may still report phase Pending while its image pulls; that
+            # case must go through the kubelet interrupt below so the node
+            # allocation is released.)
+            if pod in self._pending:
+                self._pending.remove(pod)
+            self._set_phase(pod, PodPhase.FAILED)
+            pod.finish_time = self.env.now
+            self.get_namespace(pod.meta.namespace).release(pod.spec.total_request())
+            self.record_event(
+                "Pod", pod.meta.name, "Deleted", namespace=pod.meta.namespace
+            )
+            return
+        self._terminate_pod(pod, PodPhase.FAILED, reason="Deleted")
+
+    # --------------------------------------------------------------- controllers
+
+    def create_job(
+        self,
+        name: str,
+        spec: JobSpec,
+        namespace: str = "default",
+        labels: dict[str, str] | None = None,
+    ) -> Job:
+        """Create a batch Job and start reconciling it."""
+        key = (namespace, name)
+        if key in self.jobs:
+            raise ConflictError(f"job {namespace}/{name} already exists")
+        meta = ObjectMeta(
+            name=name,
+            namespace=namespace,
+            labels=dict(labels or {}),
+            creation_time=self.env.now,
+        )
+        job = Job(meta, spec, self)
+        self.jobs[key] = job
+        self.record_event("Job", name, "Created", namespace=namespace)
+        job.reconcile()
+        return job
+
+    def get_job(self, name: str, namespace: str = "default") -> Job:
+        try:
+            return self.jobs[(namespace, name)]
+        except KeyError:
+            raise NotFoundError(f"no job {namespace}/{name}") from None
+
+    def create_replicaset(
+        self,
+        name: str,
+        spec: ReplicaSetSpec,
+        namespace: str = "default",
+        labels: dict[str, str] | None = None,
+    ) -> ReplicaSet:
+        """Create a ReplicaSet and bring up its replicas."""
+        key = (namespace, name)
+        if key in self.replicasets:
+            raise ConflictError(f"replicaset {namespace}/{name} already exists")
+        meta = ObjectMeta(
+            name=name,
+            namespace=namespace,
+            labels=dict(labels or {}),
+            creation_time=self.env.now,
+        )
+        rs = ReplicaSet(meta, spec, self)
+        self.replicasets[key] = rs
+        self.record_event("ReplicaSet", name, "Created", namespace=namespace)
+        rs.reconcile()
+        return rs
+
+    def create_daemonset(
+        self,
+        name: str,
+        spec: DaemonSetSpec,
+        namespace: str = "default",
+        labels: dict[str, str] | None = None,
+    ) -> DaemonSet:
+        """Create a DaemonSet: one pod per matching ready node."""
+        key = (namespace, name)
+        if key in self.daemonsets:
+            raise ConflictError(f"daemonset {namespace}/{name} already exists")
+        meta = ObjectMeta(
+            name=name,
+            namespace=namespace,
+            labels=dict(labels or {}),
+            creation_time=self.env.now,
+        )
+        ds = DaemonSet(meta, spec, self)
+        self.daemonsets[key] = ds
+        self.record_event("DaemonSet", name, "Created", namespace=namespace)
+        ds.reconcile()
+        return ds
+
+    def create_service(
+        self,
+        name: str,
+        selector: dict[str, str],
+        namespace: str = "default",
+    ) -> Service:
+        """Create a Service with a stable cluster DNS name (§III-E.2)."""
+        key = (namespace, name)
+        if key in self.services:
+            raise ConflictError(f"service {namespace}/{name} already exists")
+        meta = ObjectMeta(name=name, namespace=namespace, creation_time=self.env.now)
+        svc = Service(meta, selector, self)
+        self.services[key] = svc
+        return svc
+
+    def get_service(self, name: str, namespace: str = "default") -> Service:
+        try:
+            return self.services[(namespace, name)]
+        except KeyError:
+            raise NotFoundError(f"no service {namespace}/{name}") from None
+
+    def resolve_hostname(self, hostname: str) -> Service:
+        """Resolve a ``<svc>.<ns>.svc.cluster.local`` name (§IV: cross-
+        namespace networking requires fully-qualified domain names)."""
+        parts = hostname.split(".")
+        if len(parts) >= 2:
+            return self.get_service(parts[0], namespace=parts[1])
+        raise NotFoundError(f"unresolvable hostname {hostname!r}")
+
+    # ---------------------------------------------------------------- scheduling
+
+    def _kick_scheduler(self) -> None:
+        """Arrange for a scheduling pass at the current sim time (coalesced)."""
+        if self._kick_scheduled:
+            return
+        self._kick_scheduled = True
+        ev = self.env.event()
+        ev.callbacks.append(self._scheduling_pass)
+        ev.succeed()
+
+    def _scheduling_pass(self, _event: object = None) -> None:
+        self._kick_scheduled = False
+        still_pending: list[Pod] = []
+        # Highest priority first (stable), so freed/preempted capacity goes
+        # to the pods that preemption was performed for.
+        queue = sorted(
+            self._pending, key=lambda p: -p.spec.priority
+        )
+        for pod in queue:
+            if pod.is_terminal:  # deleted while queued
+                continue
+            node = self.scheduler.select(pod, self.ready_nodes())
+            if node is None:
+                if pod.spec.priority > 0:
+                    plan = self.scheduler.preemption_plan(
+                        pod, self.ready_nodes()
+                    )
+                    if plan is not None:
+                        target, victims = plan
+                        for victim in victims:
+                            self.record_event(
+                                "Pod",
+                                victim.meta.name,
+                                "Preempted",
+                                f"by {pod.meta.name} on {target.spec.name}",
+                                namespace=victim.meta.namespace,
+                            )
+                            self._terminate_pod(
+                                victim, PodPhase.FAILED, reason="Preempted"
+                            )
+                        # The pod stays pending; victim teardown re-kicks
+                        # the scheduler once their resources free up.
+                still_pending.append(pod)
+                continue
+            node.allocate(pod)
+            pod.node_name = node.spec.name
+            self.record_event(
+                "Pod",
+                pod.meta.name,
+                "Scheduled",
+                f"bound to {node.spec.name}",
+                namespace=pod.meta.namespace,
+            )
+            pod._process = self.env.process(
+                self._run_pod(pod, node), name=f"kubelet:{pod.meta.name}"
+            )
+        self._pending = still_pending
+
+    def pending_pods(self) -> list[Pod]:
+        """Pods awaiting scheduling (the 'Pending, unschedulable' set)."""
+        return list(self._pending)
+
+    # ------------------------------------------------------------------ kubelet
+
+    def _set_phase(self, pod: Pod, phase: PodPhase) -> None:
+        old = pod.phase
+        pod.phase = phase
+        for hook in self.phase_hooks:
+            hook(pod, old, phase)
+
+    def _run_pod(self, pod: Pod, node: Node):
+        """Kubelet process: image pull, container execution, phase report."""
+        try:
+            # Image pulls (cold only; the cache models layer reuse).
+            for container in pod.spec.containers:
+                if container.image not in node.image_cache:
+                    yield self.env.timeout(node.spec.image_pull_seconds)
+                    node.image_cache.add(container.image)
+                    self.record_event(
+                        "Pod",
+                        pod.meta.name,
+                        "Pulled",
+                        f"image {container.image} on {node.spec.name}",
+                        namespace=pod.meta.namespace,
+                    )
+            yield self.env.timeout(POD_STARTUP_SECONDS)
+            self._set_phase(pod, PodPhase.RUNNING)
+            pod.start_time = self.env.now
+            self.record_event(
+                "Pod", pod.meta.name, "Started", namespace=pod.meta.namespace
+            )
+
+            ctx = PodContext(self.env, pod, node, self)
+            while True:
+                procs = [
+                    self.env.process(
+                        c.main(ctx), name=f"{pod.meta.name}/{c.name}"
+                    )
+                    for c in pod.spec.containers
+                ]
+                pod._containers = procs
+                try:
+                    results = yield self.env.all_of(procs)
+                except ProcessKilled:
+                    raise
+                except Exception as exc:
+                    # Container crashed.
+                    for proc in procs:
+                        if proc.is_alive:
+                            proc.interrupt(cause="sibling container failed")
+                    if pod.spec.restart_policy is RestartPolicy.ON_FAILURE:
+                        pod.restart_count += 1
+                        self.record_event(
+                            "Pod",
+                            pod.meta.name,
+                            "BackOff",
+                            f"restart #{pod.restart_count}: {exc!r}",
+                            namespace=pod.meta.namespace,
+                        )
+                        yield self.env.timeout(
+                            min(300.0, 10.0 * 2 ** (pod.restart_count - 1))
+                        )
+                        continue
+                    pod.failure = exc
+                    self._finish_pod(pod, node, PodPhase.FAILED, reason=repr(exc))
+                    return
+                values = list(results.values())
+                pod.result = values[0] if len(values) == 1 else values
+                self._finish_pod(pod, node, PodPhase.SUCCEEDED)
+                return
+        except ProcessKilled as kill:
+            # Pod deleted or node lost: stop containers, report failure.
+            for proc in getattr(pod, "_containers", ()):  # type: ignore[attr-defined]
+                if proc.is_alive:
+                    proc.interrupt(cause=kill.cause)
+            if not pod.is_terminal:
+                self._finish_pod(
+                    pod, node, PodPhase.FAILED, reason=str(kill.cause)
+                )
+            return
+
+    def _finish_pod(
+        self, pod: Pod, node: Node, phase: PodPhase, reason: str = ""
+    ) -> None:
+        self._set_phase(pod, phase)
+        pod.finish_time = self.env.now
+        node.release(pod)
+        self.get_namespace(pod.meta.namespace).release(pod.spec.total_request())
+        self.record_event(
+            "Pod",
+            pod.meta.name,
+            phase.value,
+            reason,
+            namespace=pod.meta.namespace,
+        )
+        self._reconcile_all()
+        self._kick_scheduler()
+
+    def _terminate_pod(self, pod: Pod, phase: PodPhase, reason: str) -> None:
+        """Forcibly stop a scheduled/running pod (deletion, node loss)."""
+        runner = pod._process
+        if runner is not None and runner.is_alive:
+            runner.interrupt(cause=reason)
+        else:  # bound but runner finished — defensive
+            if not pod.is_terminal:
+                node = self.nodes.get(pod.node_name or "")
+                if node is not None:
+                    self._finish_pod(pod, node, phase, reason)
+
+    def _reconcile_all(self) -> None:
+        for job in self.jobs.values():
+            job.reconcile()
+        for rs in self.replicasets.values():
+            rs.reconcile()
+        for ds in self.daemonsets.values():
+            ds.reconcile()
+
+    def __repr__(self) -> str:  # pragma: no cover
+        running = len(self.list_pods(phase=PodPhase.RUNNING))
+        return (
+            f"<Cluster {self.name}: {len(self.nodes)} nodes, "
+            f"{running} running pods, {len(self._pending)} pending>"
+        )

@@ -1,0 +1,175 @@
+"""Pods: the unit of scheduling and execution.
+
+A pod's container carries a *generator function* as its entrypoint; when
+the pod starts, the cluster spawns it as a process on the simulation
+kernel.  The generator receives a :class:`PodContext` giving it access to
+the virtual clock, its node, its assigned GPU devices, and any volumes
+(e.g. the CephFS mount shared by every step of the paper's workflow).
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import enum
+import typing as _t
+
+from repro.cluster.objects import ObjectMeta, ResourceRequirements
+from repro.errors import ValidationError
+
+if _t.TYPE_CHECKING:  # pragma: no cover
+    from repro.cluster.cluster import Cluster
+    from repro.cluster.node import Node
+    from repro.sim import Environment, Process
+
+__all__ = [
+    "PodPhase",
+    "RestartPolicy",
+    "ContainerSpec",
+    "PodSpec",
+    "Pod",
+    "PodContext",
+]
+
+
+class PodPhase(enum.Enum):
+    """Lifecycle phases, matching the Kubernetes pod phase model."""
+
+    PENDING = "Pending"
+    RUNNING = "Running"
+    SUCCEEDED = "Succeeded"
+    FAILED = "Failed"
+
+    def is_terminal(self) -> bool:
+        return self in (PodPhase.SUCCEEDED, PodPhase.FAILED)
+
+
+class RestartPolicy(enum.Enum):
+    """What the kubelet does when the container exits."""
+
+    NEVER = "Never"
+    ON_FAILURE = "OnFailure"
+
+
+@dataclasses.dataclass
+class ContainerSpec:
+    """One container: an image plus an entrypoint generator function.
+
+    Parameters
+    ----------
+    name:
+        Container name within the pod.
+    image:
+        Image reference (e.g. ``"chase-ci/thredds-downloader:1.2"``).
+        Cold image pulls cost simulated time; warm nodes skip the pull.
+    main:
+        ``main(ctx: PodContext) -> generator`` — the entrypoint.  Its
+        return value becomes the pod's result; raising fails the pod.
+    resources:
+        Compute requests used for scheduling and node accounting.
+    """
+
+    name: str
+    image: str
+    main: _t.Callable[["PodContext"], _t.Generator]
+    resources: ResourceRequirements = dataclasses.field(
+        default_factory=ResourceRequirements
+    )
+
+
+@dataclasses.dataclass
+class PodSpec:
+    """Desired state of a pod.
+
+    ``priority`` follows the Kubernetes PriorityClass model: when a
+    higher-priority pod is unschedulable, the scheduler may preempt
+    (evict) lower-priority pods to make room.
+    """
+
+    containers: list[ContainerSpec]
+    node_selector: dict[str, str] = dataclasses.field(default_factory=dict)
+    tolerations: set[str] = dataclasses.field(default_factory=set)
+    restart_policy: RestartPolicy = RestartPolicy.NEVER
+    volumes: dict[str, object] = dataclasses.field(default_factory=dict)
+    params: dict[str, object] = dataclasses.field(default_factory=dict)
+    priority: int = 0
+
+    def __post_init__(self) -> None:
+        if not self.containers:
+            raise ValidationError("pod spec needs at least one container")
+        names = [c.name for c in self.containers]
+        if len(set(names)) != len(names):
+            raise ValidationError(f"duplicate container names: {names}")
+
+    def total_request(self) -> ResourceRequirements:
+        """Sum of all containers' requests (what the scheduler reserves)."""
+        total = ResourceRequirements()
+        for container in self.containers:
+            total = total + container.resources
+        return total
+
+
+class Pod:
+    """A pod instance tracked by the cluster."""
+
+    def __init__(self, meta: ObjectMeta, spec: PodSpec):
+        self.meta = meta
+        self.spec = spec
+        self.phase = PodPhase.PENDING
+        self.node_name: str | None = None
+        self.assigned_gpus: tuple[str, ...] = ()
+        self.start_time: float | None = None
+        self.finish_time: float | None = None
+        self.restart_count = 0
+        self.result: object = None
+        self.failure: BaseException | None = None
+        self.owner_uid: str | None = None  # controller (Job/ReplicaSet) uid
+        self._process: "Process | None" = None
+
+    @property
+    def is_terminal(self) -> bool:
+        return self.phase.is_terminal()
+
+    def __repr__(self) -> str:
+        where = f" on {self.node_name}" if self.node_name else ""
+        return f"<Pod {self.meta.namespace}/{self.meta.name} {self.phase.value}{where}>"
+
+
+class PodContext:
+    """Everything a container entrypoint can touch while running.
+
+    Attributes
+    ----------
+    env:
+        The simulation environment (for ``yield ctx.env.timeout(...)``).
+    pod, node, cluster:
+        The running pod, its node, and the cluster API.
+    gpus:
+        Device ids assigned by the device plugin (empty for CPU pods).
+    volumes:
+        The pod spec's volume map (e.g. ``{"cephfs": <CephFS mount>}``).
+    params:
+        Free-form parameters from the pod spec (worker index, shard id...).
+    """
+
+    def __init__(self, env: "Environment", pod: Pod, node: "Node", cluster: "Cluster"):
+        self.env = env
+        self.pod = pod
+        self.node = node
+        self.cluster = cluster
+        self.gpus = pod.assigned_gpus
+        self.volumes = pod.spec.volumes
+        self.params = pod.spec.params
+
+    def volume(self, name: str) -> object:
+        """Look up a mounted volume by name (raises ``KeyError`` if absent)."""
+        return self.volumes[name]
+
+    def log_event(self, reason: str, message: str = "") -> None:
+        """Emit a cluster event attributed to this pod."""
+        self.cluster.record_event(
+            kind="Pod",
+            name=self.pod.meta.name,
+            namespace=self.pod.meta.namespace,
+            reason=reason,
+            message=message,
+        )

@@ -1,0 +1,47 @@
+"""Synthetic NASA MERRA-2-like data and the IVT pipeline.
+
+The paper's case study (§III) consumes "455GB of 3-hourly, NASA
+Modern-Era Retrospective Analysis for Research and Applications, Version 2
+(MERRA V2) dataset from January 1, 1980 to May 31, 2018 ... a 3-D spatial
+grid at full horizontal resolution ... 0.5 x 0.625 in latitude and
+longitude (i.e., global resolution of 576x361 pixels), and 42 vertical
+levels", from which Integrated Water Vapor Transport (IVT) is computed
+(collection M2I3NPASM).
+
+We cannot ship NASA's archive, so this package provides:
+
+- :mod:`repro.data.netcdf` — an in-memory NetCDF-like container with
+  variable subsetting (what THREDDS's subset tool operates on).
+- :mod:`repro.data.merra` — a seeded synthetic generator producing
+  spatially smooth, temporally coherent wind/humidity fields with
+  atmospheric-river-like moisture filaments, at paper scale or any
+  laptop-scale fraction.
+- :mod:`repro.data.ivt` — vectorized IVT computation (pressure-integrated
+  moisture flux) used both to build inputs and as segmentation signal.
+- :mod:`repro.data.catalog` — the archive catalog: 112,249 3-hourly
+  granules totalling 455 GB (246 GB for the IVT-relevant subset), which
+  drives the transfer simulation at paper scale.
+- :mod:`repro.data.tfrecord` — the protobuf/TFRecord-like serializer the
+  training step feeds (§III-E.1), with real byte-level round-tripping.
+"""
+
+from repro.data.netcdf import NetCDFFile, NetCDFVariable
+from repro.data.merra import MerraGenerator, GridSpec, PAPER_GRID
+from repro.data.ivt import integrated_vapor_transport, ivt_magnitude
+from repro.data.catalog import MerraArchive, GranuleInfo
+from repro.data.tfrecord import TFRecordWriter, TFRecordReader, VolumeExample
+
+__all__ = [
+    "NetCDFFile",
+    "NetCDFVariable",
+    "MerraGenerator",
+    "GridSpec",
+    "PAPER_GRID",
+    "integrated_vapor_transport",
+    "ivt_magnitude",
+    "MerraArchive",
+    "GranuleInfo",
+    "TFRecordWriter",
+    "TFRecordReader",
+    "VolumeExample",
+]

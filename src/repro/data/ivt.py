@@ -1,0 +1,87 @@
+"""Integrated Water Vapor Transport (IVT).
+
+IVT is the vertically integrated horizontal moisture flux:
+
+.. math::
+
+    \\mathrm{IVT} = \\frac{1}{g}\\sqrt{
+        \\Big(\\int q\\,u\\,dp\\Big)^2 + \\Big(\\int q\\,v\\,dp\\Big)^2 }
+
+with :math:`q` specific humidity (kg/kg), :math:`u, v` winds (m/s), and
+the integral over pressure (Pa).  The case study "is used ... for
+calculating Integrated Water Vapor Transport (IVT) from the assimilated
+meteorological field data archive (M2I3NPASM)" (§III).
+
+Everything here is vectorized over the horizontal grid; the integrals are
+trapezoidal over the (irregular, log-spaced) pressure levels.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.errors import ShapeError
+
+__all__ = ["integrated_vapor_transport", "ivt_magnitude"]
+
+_GRAVITY = 9.80665  # m s^-2
+
+
+def _validate(u: np.ndarray, v: np.ndarray, qv: np.ndarray, levels_hpa: np.ndarray):
+    u, v, qv = np.asarray(u), np.asarray(v), np.asarray(qv)
+    levels = np.asarray(levels_hpa, dtype=np.float64)
+    if not (u.shape == v.shape == qv.shape):
+        raise ShapeError(f"u/v/qv shapes differ: {u.shape}, {v.shape}, {qv.shape}")
+    if u.ndim != 3:
+        raise ShapeError(f"expected (nlev, nlat, nlon) arrays, got {u.shape}")
+    if levels.ndim != 1 or levels.shape[0] != u.shape[0]:
+        raise ShapeError(
+            f"levels has {levels.shape} but fields have {u.shape[0]} levels"
+        )
+    return u, v, qv, levels
+
+
+def integrated_vapor_transport(
+    u: np.ndarray,
+    v: np.ndarray,
+    qv: np.ndarray,
+    levels_hpa: np.ndarray,
+) -> tuple[np.ndarray, np.ndarray]:
+    """Zonal and meridional IVT components (kg m^-1 s^-1).
+
+    Parameters
+    ----------
+    u, v:
+        Winds on pressure levels, shape ``(nlev, nlat, nlon)``.
+    qv:
+        Specific humidity on the same grid.
+    levels_hpa:
+        Pressure levels in hPa (any monotonic order).
+
+    Returns
+    -------
+    (ivt_u, ivt_v):
+        2-D component fields of shape ``(nlat, nlon)``.
+    """
+    u, v, qv, levels = _validate(u, v, qv, levels_hpa)
+    pressure_pa = levels * 100.0
+    order = np.argsort(pressure_pa)  # integrate from low to high pressure
+    p = pressure_pa[order]
+    qu = qv[order] * u[order]
+    qiv = qv[order] * v[order]
+    # np.trapezoid integrates along axis 0 with the irregular spacing of p.
+    ivt_u = np.trapezoid(qu, x=p, axis=0) / _GRAVITY
+    ivt_v = np.trapezoid(qiv, x=p, axis=0) / _GRAVITY
+    return ivt_u, ivt_v
+
+
+def ivt_magnitude(
+    u: np.ndarray,
+    v: np.ndarray,
+    qv: np.ndarray,
+    levels_hpa: np.ndarray,
+) -> np.ndarray:
+    """IVT magnitude field, shape ``(nlat, nlon)``, in kg m^-1 s^-1."""
+    ivt_u, ivt_v = integrated_vapor_transport(u, v, qv, levels_hpa)
+    # hypot avoids overflow and an intermediate square allocation.
+    return np.hypot(ivt_u, ivt_v).astype(np.float32)

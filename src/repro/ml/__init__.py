@@ -1,0 +1,84 @@
+"""Machine-learning substrate: the FFN, the CONNECT baseline, and timing.
+
+The case study replaces "MATLAB functions that use a single CPU" (the
+CONNECT algorithm) with "a new algorithm, Flood-Filling Network (FFN) ...
+applied to NASA data using 50 NVIDIA 1080ti GPUs based on Tensorflow"
+(§III).  Both sides are implemented here, for real, in NumPy:
+
+- :mod:`repro.ml.conv3d` — vectorized 3-D convolution with full
+  backpropagation (the compute kernel of the FFN).
+- :mod:`repro.ml.ffn` — a faithful small-scale flood-filling network:
+  residual conv stack over a two-channel (image, current-mask) input,
+  logit-delta output, and the moving field-of-view (FOV) inference loop
+  of Januszewski et al. [20].
+- :mod:`repro.ml.training` — patch-sampling SGD trainer.
+- :mod:`repro.ml.inference` — whole-volume segmentation by seeded flood
+  filling, plus the shard splitter used by the 50-GPU fan-out.
+- :mod:`repro.ml.connect` — the CONNECT baseline: threshold + union-find
+  connected-component labelling in time and space, with object life-cycle
+  statistics [21][22].
+- :mod:`repro.ml.metrics` — voxel and object-level segmentation metrics.
+- :mod:`repro.ml.perfmodel` — the 1080ti throughput model calibrated to
+  the paper's reported step times (306 min training, 1133 min inference
+  on 2.3e10 voxels / 50 GPUs), used when running at paper scale.
+"""
+
+from repro.ml.conv3d import conv3d_forward, conv3d_backward, Conv3D
+from repro.ml.ffn import FFNConfig, FFNModel
+from repro.ml.training import FFNTrainer, TrainingReport
+from repro.ml.inference import flood_fill, segment_volume, split_shards, ShardResult
+from repro.ml.distributed_inference import (
+    distributed_segment,
+    stitch_labels,
+    ShardSegmentation,
+)
+from repro.ml.connect import connect_segmentation, ConnectedObject, ConnectReport
+from repro.ml.metrics import (
+    voxel_metrics,
+    object_level_metrics,
+    adapted_rand_error,
+    SegmentationScores,
+)
+from repro.ml.validation import (
+    TemporalSplit,
+    temporal_holdout,
+    rolling_folds,
+    Region,
+    NAMED_REGIONS,
+    regional_scores,
+    evaluate_events,
+)
+from repro.ml.perfmodel import GPUPerfModel, GTX1080TI
+
+__all__ = [
+    "conv3d_forward",
+    "conv3d_backward",
+    "Conv3D",
+    "FFNConfig",
+    "FFNModel",
+    "FFNTrainer",
+    "TrainingReport",
+    "flood_fill",
+    "segment_volume",
+    "split_shards",
+    "ShardResult",
+    "distributed_segment",
+    "stitch_labels",
+    "ShardSegmentation",
+    "connect_segmentation",
+    "ConnectedObject",
+    "ConnectReport",
+    "voxel_metrics",
+    "object_level_metrics",
+    "adapted_rand_error",
+    "SegmentationScores",
+    "TemporalSplit",
+    "temporal_holdout",
+    "rolling_folds",
+    "Region",
+    "NAMED_REGIONS",
+    "regional_scores",
+    "evaluate_events",
+    "GPUPerfModel",
+    "GTX1080TI",
+]

@@ -1,0 +1,159 @@
+"""Vectorized 3-D convolution with backpropagation.
+
+The FFN is "a 3D convolution neural network (3D CNN) ... able to separate
+objects within a 3D volume of spatial data or images by using a deep
+stack of 3D convolutions" (§III-B).  This module supplies that kernel:
+``same``-padded, stride-1, cross-correlation convention (as every DL
+framework uses), implemented with :func:`numpy.lib.stride_tricks.
+sliding_window_view` + ``tensordot`` so the hot loop is one BLAS call —
+views, not copies, per the HPC guide.
+
+Shapes
+------
+- input   ``x``: ``(C_in, D, H, W)``
+- weights ``w``: ``(C_out, C_in, k, k, k)`` (odd ``k``)
+- bias    ``b``: ``(C_out,)``
+- output  ``y``: ``(C_out, D, H, W)``
+"""
+
+from __future__ import annotations
+
+import numpy as np
+from numpy.lib.stride_tricks import sliding_window_view
+
+from repro.errors import ShapeError
+
+__all__ = ["conv3d_forward", "conv3d_backward", "Conv3D"]
+
+
+def _check_shapes(x: np.ndarray, w: np.ndarray, b: np.ndarray) -> int:
+    if x.ndim != 4:
+        raise ShapeError(f"x must be (C,D,H,W), got {x.shape}")
+    if w.ndim != 5 or w.shape[2] != w.shape[3] or w.shape[3] != w.shape[4]:
+        raise ShapeError(f"w must be (O,C,k,k,k) with cubic kernel, got {w.shape}")
+    if w.shape[1] != x.shape[0]:
+        raise ShapeError(
+            f"channel mismatch: x has {x.shape[0]}, w expects {w.shape[1]}"
+        )
+    if b.shape != (w.shape[0],):
+        raise ShapeError(f"b must be ({w.shape[0]},), got {b.shape}")
+    k = w.shape[2]
+    if k % 2 != 1:
+        raise ShapeError(f"kernel size must be odd, got {k}")
+    return k
+
+
+def _windows(x: np.ndarray, k: int) -> np.ndarray:
+    """Same-padded sliding windows: ``(C, D, H, W, k, k, k)`` view."""
+    pad = k // 2
+    xp = np.pad(
+        x, ((0, 0), (pad, pad), (pad, pad), (pad, pad)), mode="constant"
+    )
+    return sliding_window_view(xp, (k, k, k), axis=(1, 2, 3))
+
+
+def conv3d_forward(
+    x: np.ndarray, w: np.ndarray, b: np.ndarray
+) -> np.ndarray:
+    """Same-padded stride-1 3-D convolution (cross-correlation)."""
+    k = _check_shapes(x, w, b)
+    win = _windows(x, k)  # (C, D, H, W, k, k, k)
+    # Contract over C and the three kernel axes in one tensordot.
+    y = np.tensordot(w, win, axes=([1, 2, 3, 4], [0, 4, 5, 6]))
+    return y + b[:, None, None, None]
+
+
+def conv3d_backward(
+    x: np.ndarray,
+    w: np.ndarray,
+    grad_y: np.ndarray,
+) -> tuple[np.ndarray, np.ndarray, np.ndarray]:
+    """Gradients of a same-padded conv w.r.t. input, weights, bias.
+
+    Parameters
+    ----------
+    x:
+        The forward input ``(C, D, H, W)``.
+    w:
+        The forward weights ``(O, C, k, k, k)``.
+    grad_y:
+        Upstream gradient ``(O, D, H, W)``.
+
+    Returns
+    -------
+    (grad_x, grad_w, grad_b)
+    """
+    k = w.shape[2]
+    if grad_y.shape != (w.shape[0],) + x.shape[1:]:
+        raise ShapeError(
+            f"grad_y must be {(w.shape[0],) + x.shape[1:]}, got {grad_y.shape}"
+        )
+    # dL/dw[o,c,a,b,g] = sum_voxels grad_y[o,...] * window(x)[c,...,a,b,g]
+    win = _windows(x, k)
+    grad_w = np.tensordot(grad_y, win, axes=([1, 2, 3], [1, 2, 3]))
+    # tensordot leaves axes (O, C, k, k, k) already in the right order.
+    grad_b = grad_y.sum(axis=(1, 2, 3))
+    # dL/dx is a full correlation of grad_y with spatially flipped kernels,
+    # with in/out channels swapped — i.e. another same-padded conv.
+    w_flip = w[:, :, ::-1, ::-1, ::-1].transpose(1, 0, 2, 3, 4)
+    grad_x = conv3d_forward(
+        grad_y, np.ascontiguousarray(w_flip), np.zeros(w.shape[1], dtype=w.dtype)
+    )
+    return grad_x, grad_w, grad_b
+
+
+class Conv3D:
+    """A learnable conv layer: parameters + forward/backward + SGD step."""
+
+    def __init__(
+        self,
+        in_channels: int,
+        out_channels: int,
+        kernel: int = 3,
+        rng: np.random.Generator | None = None,
+        dtype: str = "float32",
+    ):
+        rng = rng or np.random.default_rng(0)
+        fan_in = in_channels * kernel**3
+        scale = np.sqrt(2.0 / fan_in)  # He init for ReLU stacks
+        self.w = rng.normal(0.0, scale, size=(out_channels, in_channels,
+                                              kernel, kernel, kernel)).astype(dtype)
+        self.b = np.zeros(out_channels, dtype=dtype)
+        self._x: np.ndarray | None = None
+        self.grad_w = np.zeros_like(self.w)
+        self.grad_b = np.zeros_like(self.b)
+
+    @property
+    def n_params(self) -> int:
+        return self.w.size + self.b.size
+
+    def forward(self, x: np.ndarray) -> np.ndarray:
+        self._x = x
+        return conv3d_forward(x, self.w, self.b)
+
+    def backward(self, grad_y: np.ndarray) -> np.ndarray:
+        if self._x is None:
+            raise ShapeError("backward() before forward()")
+        grad_x, gw, gb = conv3d_backward(self._x, self.w, grad_y)
+        # Accumulate (zeroed by the optimizer step).
+        self.grad_w += gw
+        self.grad_b += gb
+        return grad_x
+
+    def sgd_step(self, lr: float, momentum_buf: dict | None = None,
+                 momentum: float = 0.9) -> None:
+        """In-place SGD (with optional momentum) and gradient reset."""
+        if momentum_buf is not None:
+            vw = momentum_buf.setdefault("w", np.zeros_like(self.w))
+            vb = momentum_buf.setdefault("b", np.zeros_like(self.b))
+            vw *= momentum
+            vw += self.grad_w
+            vb *= momentum
+            vb += self.grad_b
+            self.w -= lr * vw
+            self.b -= lr * vb
+        else:
+            self.w -= lr * self.grad_w
+            self.b -= lr * self.grad_b
+        self.grad_w[:] = 0
+        self.grad_b[:] = 0

@@ -1,0 +1,182 @@
+"""Distributed inference with cross-shard object stitching.
+
+Paper §III-C shards the 112,249-timestep volume evenly across 50 GPUs.
+But CONNECT-style objects are connected **in time** — an atmospheric
+river alive at a shard boundary exists in two shards and would be
+reported twice.  A correct distributed segmentation therefore needs:
+
+1. **halo regions** — each shard is segmented with a few timesteps of
+   overlap into its neighbor, so boundary objects are seen whole by at
+   least one worker;
+2. **label stitching** — after the fan-out, labels that touch across the
+   boundary plane are merged with a union-find pass, and every object id
+   is made globally unique.
+
+This module implements that algorithm for real (NumPy + the disjoint-set
+forest from :mod:`repro.ml.connect`) and is validated against the
+monolithic segmentation in the test suite.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import typing as _t
+
+import numpy as np
+
+from repro.errors import ShapeError
+from repro.ml.connect import _DisjointSet
+from repro.ml.ffn import FFNModel
+from repro.ml.inference import segment_volume, split_shards
+
+__all__ = ["ShardSegmentation", "distributed_segment", "stitch_labels"]
+
+
+@dataclasses.dataclass
+class ShardSegmentation:
+    """One worker's output: labels for its *owned* slice plus halo info.
+
+    ``labels`` covers ``[t0, t1)`` (the owned region only); halo voxels
+    are used during the shard's own segmentation and for stitching but
+    are not part of the owned output.
+    """
+
+    shard_index: int
+    t0: int
+    t1: int
+    labels: np.ndarray  # (t1 - t0, H, W) int32, local ids from 1
+    n_objects: int
+
+
+def _segment_one_shard(
+    model: FFNModel,
+    volume: np.ndarray,
+    t0: int,
+    t1: int,
+    halo: int,
+    shard_index: int,
+    max_objects: int,
+    seed_percentile: float,
+) -> ShardSegmentation:
+    lo = max(0, t0 - halo)
+    hi = min(volume.shape[0], t1 + halo)
+    fov_t = model.config.fov[0]
+    # The FFN needs at least one FOV of time depth.
+    while hi - lo < fov_t and (lo > 0 or hi < volume.shape[0]):
+        lo = max(0, lo - 1)
+        hi = min(volume.shape[0], hi + 1)
+    sub = volume[lo:hi]
+    local = segment_volume(
+        model, sub, max_objects=max_objects, seed_percentile=seed_percentile
+    )
+    owned = local[t0 - lo : t1 - lo]
+    # Compact ids so every shard's labels run 1..n.
+    ids = np.unique(owned)
+    ids = ids[ids != 0]
+    compact = np.zeros(owned.shape, dtype=np.int32)
+    for new_id, old_id in enumerate(ids, start=1):
+        compact[owned == old_id] = new_id
+    return ShardSegmentation(
+        shard_index=shard_index,
+        t0=t0,
+        t1=t1,
+        labels=compact,
+        n_objects=len(ids),
+    )
+
+
+def stitch_labels(shards: _t.Sequence[ShardSegmentation]) -> np.ndarray:
+    """Merge per-shard labels into one globally consistent volume.
+
+    Objects touching across a shard boundary (same spatial pixel lit in
+    the last owned timestep of shard *k* and the first of shard *k+1* —
+    the 6-connectivity CONNECT uses) are unioned into one id.
+    """
+    if not shards:
+        raise ShapeError("no shards to stitch")
+    ordered = sorted(shards, key=lambda s: s.t0)
+    for a, b in zip(ordered, ordered[1:]):
+        if a.t1 != b.t0:
+            raise ShapeError(
+                f"shards [{a.t0},{a.t1}) and [{b.t0},{b.t1}) are not contiguous"
+            )
+        if a.labels.shape[1:] != b.labels.shape[1:]:
+            raise ShapeError("shards disagree on spatial shape")
+
+    # Global id space: offset each shard's local ids.
+    offsets = []
+    total = 0
+    for shard in ordered:
+        offsets.append(total)
+        total += shard.n_objects
+    dsu = _DisjointSet(total + 1)
+
+    # Union across each boundary plane (vectorized pair extraction).
+    for k in range(len(ordered) - 1):
+        left, right = ordered[k], ordered[k + 1]
+        if left.labels.shape[0] == 0 or right.labels.shape[0] == 0:
+            continue
+        plane_a = left.labels[-1]
+        plane_b = right.labels[0]
+        both = (plane_a > 0) & (plane_b > 0)
+        a_ids = plane_a[both] + offsets[k]
+        b_ids = plane_b[both] + offsets[k + 1]
+        for a, b in zip(a_ids.tolist(), b_ids.tolist()):
+            dsu.union(a, b)
+
+    # Compact the merged ids.
+    roots = {}
+    next_id = 0
+    out = np.zeros(
+        (ordered[-1].t1 - ordered[0].t0,) + ordered[0].labels.shape[1:],
+        dtype=np.int32,
+    )
+    base_t = ordered[0].t0
+    for k, shard in enumerate(ordered):
+        if shard.n_objects == 0:
+            continue
+        # Map this shard's local ids -> global compact ids in one take.
+        local_ids = np.arange(1, shard.n_objects + 1)
+        mapping = np.zeros(shard.n_objects + 1, dtype=np.int32)
+        for local in local_ids:
+            root = dsu.find(int(local + offsets[k]))
+            if root not in roots:
+                next_id += 1
+                roots[root] = next_id
+            mapping[local] = roots[root]
+        out[shard.t0 - base_t : shard.t1 - base_t] = mapping[shard.labels]
+    return out
+
+
+def distributed_segment(
+    model: FFNModel,
+    volume: np.ndarray,
+    n_workers: int,
+    halo: int = 2,
+    max_objects_per_shard: int = 16,
+    seed_percentile: float = 97.0,
+) -> tuple[np.ndarray, list[ShardSegmentation]]:
+    """Segment ``volume`` as the paper's GPU fan-out would: shard the
+    time axis, segment each shard (with halo), stitch.
+
+    Returns ``(global_labels, shard_outputs)``.
+    """
+    if volume.ndim != 3:
+        raise ShapeError(f"volume must be (T, H, W), got {volume.shape}")
+    if halo < 0:
+        raise ShapeError("halo must be >= 0")
+    bounds = split_shards(volume.shape[0], n_workers)
+    shard_outputs = [
+        _segment_one_shard(
+            model,
+            volume,
+            t0,
+            t1,
+            halo,
+            shard_index=i,
+            max_objects=max_objects_per_shard,
+            seed_percentile=seed_percentile,
+        )
+        for i, (t0, t1) in enumerate(bounds)
+    ]
+    return stitch_labels(shard_outputs), shard_outputs

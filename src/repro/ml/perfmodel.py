@@ -1,0 +1,120 @@
+"""GPU performance model calibrated to the paper's reported times.
+
+We have no 1080ti cluster, so paper-scale runs use a throughput model
+(DESIGN.md substitution table).  Calibration anchors, all from §III:
+
+- **Training** (step 2): 306 minutes total on one 1080ti for a
+  576×361×240-voxel volume (~4.99e7 voxels), of which the data-prep
+  phase (building partition volumes and coordinates, the purple band of
+  Figure 5) takes roughly the first fifth of the job.
+- **Inference** (step 3): 2.3e10 voxels over 50 GPUs in 1133 minutes
+  → an effective per-GPU flood-fill throughput of ≈6.8k voxels/s (each
+  voxel is visited by many overlapping FOVs, hence far below raw FLOPS).
+- **Data prep throughput** (step 1 merging / protobuf generation) uses a
+  CPU byte rate, not the GPU.
+
+Workers draw a small deterministic speed factor (±5%) from their name, so
+fan-outs exhibit the straggler behaviour visible in the paper's Grafana
+plots without breaking reproducibility.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+
+import numpy as np
+
+from repro.errors import MLError
+from repro.sim.rng import derive_seed
+
+__all__ = ["GPUPerfModel", "GTX1080TI", "PAPER_TRAIN_VOXELS", "PAPER_INFER_VOXELS"]
+
+#: The paper's training volume: 576 x 361 x 240 voxels (§III-B).
+PAPER_TRAIN_VOXELS = 576 * 361 * 240
+#: The paper's inference volume: 576 x 361 x 112,249 ≈ 2.3e10 voxels (§III-C).
+PAPER_INFER_VOXELS = 576 * 361 * 112_249
+
+_PAPER_TRAIN_MINUTES = 306.0
+_PAPER_INFER_MINUTES = 1133.0
+_PAPER_INFER_GPUS = 50
+#: Fraction of the 306-minute training job spent in pre-training data prep
+#: (Figure 5's purple band precedes the green training band).
+_TRAIN_PREP_FRACTION = 0.2
+
+
+@dataclasses.dataclass(frozen=True)
+class GPUPerfModel:
+    """Throughputs of one GPU model for the FFN workload.
+
+    Attributes
+    ----------
+    name:
+        Device name (informational).
+    train_voxels_per_s:
+        Effective wall-clock voxel rate of FFN *training* (SGD over FOV
+        patches covering the volume, including host I/O stalls).
+    infer_voxels_per_s:
+        Effective flood-fill inference rate (overlapping-FOV visits
+        amortized in).
+    prep_bytes_per_s:
+        CPU-side data-prep rate (NetCDF → protobuf conversion).
+    jitter:
+        Max fractional per-worker speed variation.
+    """
+
+    name: str
+    train_voxels_per_s: float
+    infer_voxels_per_s: float
+    prep_bytes_per_s: float = 80e6
+    jitter: float = 0.05
+
+    def worker_speed(self, worker: str, seed: int = 0) -> float:
+        """Deterministic per-worker speed factor in [1-jitter, 1+jitter]."""
+        rng = np.random.default_rng(derive_seed(seed, "gpu-speed", worker))
+        return float(1.0 + self.jitter * (2.0 * rng.random() - 1.0))
+
+    # -- step timings ---------------------------------------------------------------
+
+    def training_seconds(
+        self, voxels: float, worker: str = "trainer", seed: int = 0
+    ) -> float:
+        """Wall-clock seconds to train on a volume of ``voxels`` voxels
+        (excluding the data-prep phase)."""
+        if voxels <= 0:
+            raise MLError("voxels must be positive")
+        return voxels / (self.train_voxels_per_s * self.worker_speed(worker, seed))
+
+    def train_prep_seconds(self, voxels: float) -> float:
+        """The pre-training partition/coordinate build (Figure 5, purple)."""
+        full_train = voxels / self.train_voxels_per_s
+        return full_train * _TRAIN_PREP_FRACTION / (1 - _TRAIN_PREP_FRACTION)
+
+    def inference_seconds(
+        self, voxels: float, worker: str = "inf", seed: int = 0
+    ) -> float:
+        """Wall-clock seconds for one GPU to flood-fill ``voxels`` voxels."""
+        if voxels <= 0:
+            raise MLError("voxels must be positive")
+        return voxels / (self.infer_voxels_per_s * self.worker_speed(worker, seed))
+
+    def prep_seconds(self, nbytes: float) -> float:
+        """CPU data-prep (serial protobuf generation, §III-E.1)."""
+        return nbytes / self.prep_bytes_per_s
+
+
+def _calibrated_1080ti() -> GPUPerfModel:
+    train_rate = PAPER_TRAIN_VOXELS / (
+        _PAPER_TRAIN_MINUTES * 60.0 * (1 - _TRAIN_PREP_FRACTION)
+    )
+    infer_rate = PAPER_INFER_VOXELS / (
+        _PAPER_INFER_MINUTES * 60.0 * _PAPER_INFER_GPUS
+    )
+    return GPUPerfModel(
+        name="NVIDIA GTX 1080 Ti",
+        train_voxels_per_s=train_rate,
+        infer_voxels_per_s=infer_rate,
+    )
+
+
+#: The paper's GPU ("50 NVIDIA 1080ti GPUs", CUDA 9, TF 1.13.0-rc1).
+GTX1080TI = _calibrated_1080ti()

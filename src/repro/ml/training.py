@@ -1,0 +1,197 @@
+"""FFN training: FOV patch sampling + SGD.
+
+"Training the model relies on a labeled dataset ... a binary
+representation of locations on earth where intense large-scale moisture
+transport (IVT) processes exist.  The CONNECT dataset is used for
+training" (§III-B).  The trainer samples FOV-sized patches centered on
+object voxels (plus background patches), seeds the mask at the center,
+runs one FFN step, and minimizes voxelwise sigmoid cross-entropy —
+each step trained independently, as in the reference FFN.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+
+import numpy as np
+
+from repro.errors import MLError, ShapeError
+from repro.ml.ffn import FFNModel
+
+__all__ = ["TrainingReport", "FFNTrainer"]
+
+
+@dataclasses.dataclass
+class TrainingReport:
+    """What a training run produced."""
+
+    steps: int
+    losses: list[float]
+    final_loss: float
+    initial_loss: float
+    patches_seen: int
+
+    @property
+    def improved(self) -> bool:
+        return self.final_loss < self.initial_loss
+
+
+class FFNTrainer:
+    """Patch-based SGD trainer.
+
+    Parameters
+    ----------
+    model:
+        The :class:`FFNModel` to optimize (updated in place).
+    lr / momentum:
+        SGD hyperparameters.
+    object_fraction:
+        Fraction of sampled patches centered on labelled object voxels
+        (the rest are random background, so the model learns to *not*
+        flood empty air).
+    seed:
+        Sampling RNG seed.
+    """
+
+    def __init__(
+        self,
+        model: FFNModel,
+        lr: float = 0.1,
+        momentum: float = 0.9,
+        object_fraction: float = 0.7,
+        fov_steps: int = 3,
+        batch_size: int = 4,
+        seed: int = 0,
+    ):
+        if not 0.0 <= object_fraction <= 1.0:
+            raise MLError("object_fraction must be in [0, 1]")
+        if fov_steps < 1:
+            raise MLError("fov_steps must be >= 1")
+        if batch_size < 1:
+            raise MLError("batch_size must be >= 1")
+        self.model = model
+        self.lr = lr
+        self.momentum = momentum
+        self.object_fraction = object_fraction
+        #: FFN steps iterated per patch: later steps see partially flooded
+        #: masks, which is exactly what inference produces — training only
+        #: on fresh seeds makes the network over-flood at inference time.
+        self.fov_steps = fov_steps
+        #: Patches whose gradients are accumulated per optimizer step;
+        #: single-patch SGD oscillates between flooding and suppressing.
+        self.batch_size = batch_size
+        self.rng = np.random.default_rng(seed)
+
+    # -- sampling ----------------------------------------------------------------
+
+    def _patch_centers(
+        self, labels: np.ndarray, count: int
+    ) -> list[tuple[int, int, int]]:
+        fov = np.array(self.model.config.fov)
+        half = fov // 2
+        shape = np.array(labels.shape)
+        lo, hi = half, shape - half  # valid center range (exclusive hi)
+        if np.any(lo >= hi):
+            raise ShapeError(
+                f"volume {labels.shape} too small for FOV {tuple(fov)}"
+            )
+        interior = labels[tuple(slice(int(a), int(b)) for a, b in zip(lo, hi))]
+        object_voxels = np.argwhere(interior > 0) + lo
+        centers: list[tuple[int, int, int]] = []
+        n_obj = int(round(count * self.object_fraction))
+        if len(object_voxels) and n_obj:
+            picks = self.rng.integers(0, len(object_voxels), size=n_obj)
+            centers.extend(map(tuple, object_voxels[picks]))
+        while len(centers) < count:
+            centers.append(
+                tuple(int(self.rng.integers(a, b)) for a, b in zip(lo, hi))
+            )
+        # Interleave object and background patches — a sorted curriculum
+        # ends with a long background-only run and the model forgets how
+        # to flood (catastrophic forgetting).
+        self.rng.shuffle(centers)
+        return centers
+
+    # -- training -------------------------------------------------------------------
+
+    def train(
+        self,
+        volume: np.ndarray,
+        labels: np.ndarray,
+        steps: int = 200,
+        log_every: int = 10,
+    ) -> TrainingReport:
+        """Run ``steps`` single-patch SGD steps on (volume, labels).
+
+        ``labels`` is binary (object/background) with the same shape as
+        ``volume`` — the paper's "576x361x240 data volume" at any scale.
+        """
+        if volume.shape != labels.shape:
+            raise ShapeError(
+                f"volume {volume.shape} and labels {labels.shape} differ"
+            )
+        image = volume.astype(np.float32)
+        std = image.std()
+        if std > 0:
+            image = (image - image.mean()) / std
+        cfg = self.model.config
+        half = tuple(f // 2 for f in cfg.fov)
+        losses: list[float] = []
+        initial_loss = None
+        centers = self._patch_centers(labels, steps * self.batch_size)
+        grad_scale = 1.0 / (self.batch_size * self.fov_steps)
+        idx = 0
+        for step in range(steps):
+            batch_loss = 0.0
+            for _ in range(self.batch_size):
+                center = centers[idx]
+                idx += 1
+                slices = tuple(
+                    slice(c - h, c + h + 1) for c, h in zip(center, half)
+                )
+                img_patch = image[slices]
+                label_patch = (labels[slices] > 0).astype(np.float32)
+                mask = np.full(cfg.fov, cfg.init_logit, dtype=np.float32)
+                mask[half] = cfg.seed_logit
+                for _ in range(self.fov_steps):
+                    logits = self.model.forward(img_patch, mask)
+                    loss, grad = FFNModel.logistic_loss(logits, label_patch)
+                    if initial_loss is None:
+                        initial_loss = loss
+                    batch_loss += loss * grad_scale
+                    self.model.backward(grad * grad_scale)
+                    # Next pass sees the (detached, saturated) updated mask.
+                    mask = np.clip(logits, -16.0, 16.0).astype(np.float32)
+            self.model.sgd_step(self.lr, momentum=self.momentum)
+            if step % log_every == 0 or step == steps - 1:
+                losses.append(batch_loss)
+        return TrainingReport(
+            steps=steps,
+            losses=losses,
+            final_loss=losses[-1],
+            initial_loss=float(initial_loss),
+            patches_seen=steps * self.batch_size,
+        )
+
+    def evaluate(self, volume: np.ndarray, labels: np.ndarray,
+                 n_patches: int = 50) -> float:
+        """Mean loss over freshly sampled patches (no updates)."""
+        image = volume.astype(np.float32)
+        std = image.std()
+        if std > 0:
+            image = (image - image.mean()) / std
+        cfg = self.model.config
+        half = tuple(f // 2 for f in cfg.fov)
+        total = 0.0
+        for center in self._patch_centers(labels, n_patches):
+            slices = tuple(
+                slice(c - h, c + h + 1) for c, h in zip(center, half)
+            )
+            mask = np.full(cfg.fov, cfg.init_logit, dtype=np.float32)
+            mask[half] = cfg.seed_logit
+            logits = self.model.forward(image[slices], mask)
+            loss, _ = FFNModel.logistic_loss(
+                logits, (labels[slices] > 0).astype(np.float32)
+            )
+            total += loss
+        return total / n_patches

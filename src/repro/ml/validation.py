@@ -1,0 +1,255 @@
+"""Validation methodologies: splits, regions, and event-level evaluation.
+
+Paper §III-E.3: "When doing machine learning, it is important to separate
+training and test data ... A Redis queue is being developed to store
+model training/testing validation split methodologies and parameters
+sets to be used in multi-model validation.  A full object segmentation
+comparison is being actively worked on ... including developing new
+validation data sets, looking at specific events in time and geographic
+regions."
+
+This module supplies those pieces:
+
+- split methodologies over the time axis (temporal holdout, rolling
+  k-fold) that guarantee train/test disjointness;
+- geographic **regions** (lat/lon boxes on the MERRA grid) so metrics can
+  be reported per region;
+- **event-level** evaluation: CONNECT-style life-cycle objects in the
+  truth are matched against predictions, giving per-event detection with
+  time/region attribution.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import typing as _t
+
+import numpy as np
+
+from repro.data.merra import GridSpec
+from repro.errors import ShapeError, ValidationError
+from repro.ml.connect import ConnectedObject, connect_segmentation
+from repro.ml.metrics import SegmentationScores, voxel_metrics
+
+__all__ = [
+    "TemporalSplit",
+    "temporal_holdout",
+    "rolling_folds",
+    "Region",
+    "NAMED_REGIONS",
+    "region_mask",
+    "regional_scores",
+    "EventMatch",
+    "evaluate_events",
+]
+
+
+# ----------------------------------------------------------------- splits
+
+
+@dataclasses.dataclass(frozen=True)
+class TemporalSplit:
+    """Disjoint train/validation windows over the time axis."""
+
+    train: tuple[int, int]
+    validation: tuple[int, int]
+
+    def __post_init__(self) -> None:
+        t0, t1 = self.train
+        v0, v1 = self.validation
+        if t0 >= t1 or v0 >= v1:
+            raise ValidationError("windows must be non-empty (start < end)")
+        if not (t1 <= v0 or v1 <= t0):
+            raise ValidationError(
+                f"train {self.train} and validation {self.validation} overlap"
+            )
+
+    @property
+    def train_steps(self) -> int:
+        return self.train[1] - self.train[0]
+
+    @property
+    def validation_steps(self) -> int:
+        return self.validation[1] - self.validation[0]
+
+
+def temporal_holdout(
+    n_timesteps: int, validation_fraction: float = 0.25
+) -> TemporalSplit:
+    """The simplest methodology: the last fraction of time is held out
+    (never train on the future you evaluate)."""
+    if not 0.0 < validation_fraction < 1.0:
+        raise ValidationError("validation_fraction must be in (0, 1)")
+    cut = int(round(n_timesteps * (1.0 - validation_fraction)))
+    cut = min(max(cut, 1), n_timesteps - 1)
+    return TemporalSplit(train=(0, cut), validation=(cut, n_timesteps))
+
+
+def rolling_folds(n_timesteps: int, n_folds: int) -> list[TemporalSplit]:
+    """Rolling-origin k-fold: fold *k* trains on everything before its
+    validation window — each fold respects causality."""
+    if n_folds < 2:
+        raise ValidationError("need at least 2 folds")
+    if n_timesteps < 2 * n_folds:
+        raise ValidationError(
+            f"{n_timesteps} steps cannot support {n_folds} causal folds"
+        )
+    bounds = np.linspace(0, n_timesteps, n_folds + 1).astype(int)
+    splits = []
+    for k in range(1, n_folds):
+        splits.append(
+            TemporalSplit(
+                train=(0, int(bounds[k])),
+                validation=(int(bounds[k]), int(bounds[k + 1])),
+            )
+        )
+    return splits
+
+
+# ----------------------------------------------------------------- regions
+
+
+@dataclasses.dataclass(frozen=True)
+class Region:
+    """A geographic lat/lon box."""
+
+    name: str
+    lat_min: float
+    lat_max: float
+    lon_min: float
+    lon_max: float
+
+    def __post_init__(self) -> None:
+        if self.lat_min >= self.lat_max:
+            raise ValidationError(f"{self.name}: empty latitude range")
+
+    def contains(self, lat: np.ndarray, lon: np.ndarray) -> np.ndarray:
+        """Boolean mask for (lat, lon) arrays (handles date-line wrap)."""
+        lat_ok = (lat >= self.lat_min) & (lat <= self.lat_max)
+        if self.lon_min <= self.lon_max:
+            lon_ok = (lon >= self.lon_min) & (lon <= self.lon_max)
+        else:  # wraps the date line
+            lon_ok = (lon >= self.lon_min) | (lon <= self.lon_max)
+        return lat_ok & lon_ok
+
+
+#: Atmospheric-river-relevant study regions (the CONNECT papers focus on
+#: landfalling moisture transport in these basins).
+NAMED_REGIONS: dict[str, Region] = {
+    "north-pacific": Region("north-pacific", 20.0, 60.0, 140.0, -120.0),
+    "north-atlantic": Region("north-atlantic", 20.0, 60.0, -80.0, 0.0),
+    "southern-ocean": Region("southern-ocean", -65.0, -30.0, -180.0, 180.0),
+    "tropics": Region("tropics", -20.0, 20.0, -180.0, 180.0),
+}
+
+
+def region_mask(region: Region, grid: GridSpec) -> np.ndarray:
+    """2-D boolean mask of the region on a grid."""
+    lat2d, lon2d = np.meshgrid(grid.lats, grid.lons, indexing="ij")
+    return region.contains(lat2d, lon2d)
+
+
+def regional_scores(
+    predicted: np.ndarray,
+    truth: np.ndarray,
+    grid: GridSpec,
+    regions: _t.Mapping[str, Region] | None = None,
+) -> dict[str, SegmentationScores]:
+    """Voxel metrics restricted to each region ("looking at ... specific
+    geographic regions")."""
+    if predicted.ndim != 3 or predicted.shape != truth.shape:
+        raise ShapeError("predicted/truth must be equal 3-D volumes")
+    if predicted.shape[1:] != (grid.nlat, grid.nlon):
+        raise ShapeError(
+            f"volume spatial shape {predicted.shape[1:]} != grid "
+            f"({grid.nlat}, {grid.nlon})"
+        )
+    out: dict[str, SegmentationScores] = {}
+    for name, region in (regions or NAMED_REGIONS).items():
+        mask = region_mask(region, grid)
+        if not mask.any():
+            continue
+        out[name] = voxel_metrics(
+            predicted[:, mask], truth[:, mask]
+        )
+    return out
+
+
+# ------------------------------------------------------------ event level
+
+
+@dataclasses.dataclass
+class EventMatch:
+    """One ground-truth event and whether/how it was detected."""
+
+    event: ConnectedObject
+    detected: bool
+    overlap_voxels: int
+    regions: list[str]
+
+
+def evaluate_events(
+    predicted_labels: np.ndarray,
+    truth_volume: np.ndarray,
+    grid: GridSpec,
+    truth_threshold: float | None = None,
+    min_overlap_fraction: float = 0.25,
+    regions: _t.Mapping[str, Region] | None = None,
+) -> dict[str, object]:
+    """Event-level validation: "looking at specific events in time".
+
+    Ground-truth *events* are CONNECT life-cycle objects extracted from
+    the truth volume; an event counts as detected when predictions cover
+    at least ``min_overlap_fraction`` of its voxels.  Each event is
+    attributed to the named regions its centroid falls in, enabling
+    per-region detection rates.
+    """
+    report = connect_segmentation(
+        truth_volume,
+        threshold=truth_threshold,
+        threshold_percentile=95.0,
+        min_voxels=4,
+    )
+    region_map = {
+        name: region_mask(region, grid)
+        for name, region in (regions or NAMED_REGIONS).items()
+    }
+    matches: list[EventMatch] = []
+    predicted_fg = predicted_labels > 0
+    for event in report.objects:
+        event_mask = report.labels == event.id
+        overlap = int(np.count_nonzero(event_mask & predicted_fg))
+        detected = overlap >= min_overlap_fraction * event.voxels
+        _t_c, lat_idx, lon_idx = event.centroid_txy
+        in_regions = [
+            name
+            for name, mask in region_map.items()
+            if mask[int(round(lat_idx)) % grid.nlat,
+                    int(round(lon_idx)) % grid.nlon]
+        ]
+        matches.append(
+            EventMatch(
+                event=event,
+                detected=detected,
+                overlap_voxels=overlap,
+                regions=in_regions,
+            )
+        )
+    detected_count = sum(m.detected for m in matches)
+    per_region: dict[str, dict[str, float]] = {}
+    for name in region_map:
+        in_region = [m for m in matches if name in m.regions]
+        if in_region:
+            per_region[name] = {
+                "events": float(len(in_region)),
+                "detected": float(sum(m.detected for m in in_region)),
+                "detection_rate": sum(m.detected for m in in_region)
+                / len(in_region),
+            }
+    return {
+        "events": len(matches),
+        "detected": detected_count,
+        "detection_rate": detected_count / len(matches) if matches else 0.0,
+        "matches": matches,
+        "per_region": per_region,
+    }

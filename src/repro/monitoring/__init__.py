@@ -1,0 +1,39 @@
+"""Monitoring: Prometheus-like metrics and Grafana-like dashboards.
+
+Paper §II-A: "Nautilus needs software to monitor the health, availability,
+and performance of resources.  Grafana is an open source platform for
+time series analytics.  It graphs cluster health and performance data
+using a functional query language provided by Prometheus."  Contribution
+5 — the step-by-step measurement approach — depends on exactly this loop:
+every workflow step is measured, and "experimental results and
+performance measurements were presented using the CHASE-CI dashboard
+visualizations in Grafana" (§VIII).
+
+- :class:`MetricRegistry` — named, labelled counters and gauges backed by
+  time series on the virtual clock.
+- :class:`Sampler` — a kernel process that scrapes probe callables at a
+  fixed interval (the Prometheus scrape loop).
+- :mod:`repro.monitoring.promql` — the query-language subset the
+  dashboards need: ``rate``, ``avg/max/sum_over_time``, label aggregation.
+- :class:`Dashboard` — ASCII Grafana: time-series panels and stat panels
+  rendering the Figure-3/4/5/6 views.
+"""
+
+from repro.monitoring.metrics import MetricRegistry, TimeSeries
+from repro.monitoring.sampler import Sampler
+from repro.monitoring import promql
+from repro.monitoring.grafana import Dashboard, Panel
+from repro.monitoring.alerts import Alert, AlertManager, AlertRule, AlertState
+
+__all__ = [
+    "MetricRegistry",
+    "TimeSeries",
+    "Sampler",
+    "promql",
+    "Dashboard",
+    "Panel",
+    "Alert",
+    "AlertManager",
+    "AlertRule",
+    "AlertState",
+]

@@ -1,0 +1,171 @@
+"""Prometheus-style alerting rules.
+
+§II-A's monitoring stack exists so admins see "the health, availability,
+and performance of resources"; in Prometheus that is the alert-rule
+engine: an expression over recent samples, a ``for`` duration the
+condition must hold, and pending → firing → resolved state transitions.
+
+Rules here are predicates over a :class:`MetricRegistry` series (or an
+aggregate), evaluated by a kernel process at a fixed interval.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import enum
+import typing as _t
+
+from repro.monitoring.metrics import MetricRegistry
+from repro.sim import Environment
+
+__all__ = ["AlertState", "AlertRule", "Alert", "AlertManager"]
+
+
+class AlertState(enum.Enum):
+    INACTIVE = "inactive"
+    PENDING = "pending"  # condition true, `for` duration not yet met
+    FIRING = "firing"
+
+
+@dataclasses.dataclass
+class AlertRule:
+    """One rule: a condition with a hold duration and severity.
+
+    Parameters
+    ----------
+    name:
+        Rule name (``CephDegraded``, ``NodeDown``...).
+    condition:
+        ``condition(registry) -> bool`` — True when the alert condition
+        holds *right now*.
+    for_seconds:
+        The condition must hold continuously this long before firing
+        (debouncing, like Prometheus's ``for:``).
+    severity:
+        Free-form label (``warning`` / ``critical``).
+    """
+
+    name: str
+    condition: _t.Callable[[MetricRegistry], bool]
+    for_seconds: float = 0.0
+    severity: str = "warning"
+    annotation: str = ""
+
+
+@dataclasses.dataclass
+class Alert:
+    """A fired alert instance (kept in the manager's history)."""
+
+    rule: str
+    severity: str
+    fired_at: float
+    resolved_at: float | None = None
+    annotation: str = ""
+
+    @property
+    def active(self) -> bool:
+        return self.resolved_at is None
+
+
+class AlertManager:
+    """Evaluates rules on an interval; tracks pending/firing/resolved."""
+
+    def __init__(
+        self,
+        env: Environment,
+        registry: MetricRegistry,
+        interval: float = 30.0,
+    ):
+        if interval <= 0:
+            raise ValueError("interval must be positive")
+        self.env = env
+        self.registry = registry
+        self.interval = interval
+        self.rules: list[AlertRule] = []
+        self.states: dict[str, AlertState] = {}
+        self._pending_since: dict[str, float] = {}
+        self._active: dict[str, Alert] = {}
+        self.history: list[Alert] = []
+        #: callbacks invoked with each newly fired Alert
+        self.notifiers: list[_t.Callable[[Alert], None]] = []
+        env.process(self._loop(), name="alertmanager")
+
+    def add_rule(self, rule: AlertRule) -> None:
+        if any(r.name == rule.name for r in self.rules):
+            raise ValueError(f"duplicate rule {rule.name!r}")
+        self.rules.append(rule)
+        self.states[rule.name] = AlertState.INACTIVE
+
+    def state(self, rule_name: str) -> AlertState:
+        return self.states[rule_name]
+
+    def firing(self) -> list[Alert]:
+        """Currently active alerts, sorted by rule name."""
+        return [self._active[k] for k in sorted(self._active)]
+
+    def evaluate_once(self) -> None:
+        """One evaluation pass (also called by the periodic loop)."""
+        now = self.env.now
+        for rule in self.rules:
+            try:
+                holds = bool(rule.condition(self.registry))
+            except Exception:
+                holds = False  # a broken expression must not crash the loop
+            state = self.states[rule.name]
+            if holds:
+                if state is AlertState.INACTIVE:
+                    self._pending_since[rule.name] = now
+                    state = AlertState.PENDING
+                if (
+                    state is AlertState.PENDING
+                    and now - self._pending_since[rule.name] >= rule.for_seconds
+                ):
+                    state = AlertState.FIRING
+                    alert = Alert(
+                        rule=rule.name,
+                        severity=rule.severity,
+                        fired_at=now,
+                        annotation=rule.annotation,
+                    )
+                    self._active[rule.name] = alert
+                    self.history.append(alert)
+                    for notify in self.notifiers:
+                        notify(alert)
+            else:
+                if state is AlertState.FIRING:
+                    self._active.pop(rule.name).resolved_at = now
+                state = AlertState.INACTIVE
+                self._pending_since.pop(rule.name, None)
+            self.states[rule.name] = state
+
+    def _loop(self):
+        while True:
+            self.evaluate_once()
+            yield self.env.timeout(self.interval)
+
+
+# -- canned conditions for the Nautilus testbed ---------------------------------
+
+
+def gauge_above(metric: str, threshold: float) -> _t.Callable[[MetricRegistry], bool]:
+    """Condition: any labelled series' latest sample exceeds threshold."""
+
+    def cond(registry: MetricRegistry) -> bool:
+        return any(
+            (ts.latest() or 0.0) > threshold
+            for ts in registry.all_series(metric)
+        )
+
+    return cond
+
+
+def aggregate_above(metric: str, threshold: float) -> _t.Callable[[MetricRegistry], bool]:
+    """Condition: the sum of latest samples across series exceeds threshold."""
+
+    def cond(registry: MetricRegistry) -> bool:
+        total = sum(
+            ts.latest() or 0.0 for ts in registry.all_series(metric)
+        )
+        return total > threshold
+
+    return cond

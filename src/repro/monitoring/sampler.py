@@ -1,0 +1,57 @@
+"""The scrape loop: periodic sampling of probe callables."""
+
+from __future__ import annotations
+
+import typing as _t
+
+from repro.monitoring.metrics import Labels, MetricRegistry
+from repro.sim import Environment
+
+__all__ = ["Sampler"]
+
+
+class Sampler:
+    """Scrapes registered probes every ``interval`` seconds of sim time.
+
+    A probe is any zero-argument callable returning a float — e.g.
+    ``lambda: node.allocated.cpu`` — so the sampler observes live cluster
+    state exactly the way Prometheus scrapes an exporter.
+
+    Probes that raise are skipped for that scrape (a target being briefly
+    down must not kill monitoring).
+    """
+
+    def __init__(
+        self,
+        env: Environment,
+        registry: MetricRegistry,
+        interval: float = 15.0,
+    ):
+        if interval <= 0:
+            raise ValueError("interval must be positive")
+        self.env = env
+        self.registry = registry
+        self.interval = interval
+        self._probes: list[tuple[str, tuple, _t.Callable[[], float]]] = []
+        self._proc = env.process(self._loop(), name="metrics-sampler")
+        self.scrapes = 0
+
+    def add_probe(
+        self,
+        name: str,
+        fn: _t.Callable[[], float],
+        labels: Labels | None = None,
+    ) -> None:
+        """Register a gauge probe."""
+        self._probes.append((name, tuple(sorted((labels or {}).items())), fn))
+
+    def _loop(self):
+        while True:
+            for name, label_items, fn in self._probes:
+                try:
+                    value = float(fn())
+                except Exception:
+                    continue  # scrape failure: skip this sample
+                self.registry.set_gauge(name, value, dict(label_items))
+            self.scrapes += 1
+            yield self.env.timeout(self.interval)

@@ -1,0 +1,35 @@
+"""The Pacific Research Platform network substrate.
+
+The paper's infrastructure claims rest on the PRP: a "high-speed cloud
+connected on 10G, 40G and 100G networks using the ESnet Science DMZ model"
+(§II), with Data Transfer Nodes (FIONAs) at partner sites and performance
+"optimized by minimizing data transfer on Local Area Networks, favoring
+high-bandwidth Wide Area Networks".
+
+This package models that network as a fluid-flow simulation:
+
+- :class:`Topology` — sites and links (10/40/100 GbE) as a graph; hosts
+  attach to sites through NIC-limited access links.
+- :class:`FlowSimulator` — concurrent transfers share links by **max-min
+  fairness** (progressive filling); rates re-converge instantly whenever a
+  flow starts or finishes, which is the standard fluid approximation for
+  long-lived TCP flows on high-bandwidth paths.
+- :func:`build_prp_topology` — the PRP backbone with 20+ partner
+  institutions, DTN placement, and CENIC-like 100G core links.
+
+Throughput ceilings, contention between the paper's 10 parallel download
+workers, and the Figure-4 network-usage shapes all emerge from this model.
+"""
+
+from repro.netsim.topology import Link, Site, Topology, build_prp_topology
+from repro.netsim.flows import CapacityResource, Flow, FlowSimulator
+
+__all__ = [
+    "Site",
+    "Link",
+    "Topology",
+    "build_prp_topology",
+    "CapacityResource",
+    "Flow",
+    "FlowSimulator",
+]

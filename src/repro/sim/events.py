@@ -1,0 +1,239 @@
+"""Core event types for the discrete-event kernel.
+
+An :class:`Event` is a one-shot occurrence.  It moves through three states:
+
+``pending`` → ``triggered`` (scheduled on the heap) → ``processed``
+(callbacks ran).  An event may *succeed* with a value or *fail* with an
+exception; a failed event re-raises inside any process waiting on it unless
+the failure was *defused* (consumed by a composite event or an explicit
+handler).
+"""
+
+from __future__ import annotations
+
+import typing as _t
+
+from repro.errors import SimulationError
+
+if _t.TYPE_CHECKING:  # pragma: no cover - import cycle guard
+    from repro.sim.environment import Environment
+    from repro.sim.process import Process
+
+__all__ = ["PENDING", "Event", "Timeout", "Interrupt", "AllOf", "AnyOf"]
+
+#: Sentinel for "event has not been triggered yet".
+PENDING = object()
+
+
+class Event:
+    """A one-shot occurrence on the simulation timeline.
+
+    Parameters
+    ----------
+    env:
+        The owning :class:`~repro.sim.environment.Environment`.
+
+    Attributes
+    ----------
+    callbacks:
+        List of callables invoked with the event when it is processed.
+        ``None`` once the event has been processed.
+    """
+
+    __slots__ = ("env", "callbacks", "_value", "_ok", "_defused")
+
+    def __init__(self, env: "Environment"):
+        self.env = env
+        self.callbacks: list | None = []
+        self._value: object = PENDING
+        self._ok: bool = True
+        self._defused: bool = False
+
+    # -- state inspection ---------------------------------------------------
+
+    @property
+    def triggered(self) -> bool:
+        """True once the event has been scheduled (succeeded or failed)."""
+        return self._value is not PENDING
+
+    @property
+    def processed(self) -> bool:
+        """True once the event's callbacks have run."""
+        return self.callbacks is None
+
+    @property
+    def ok(self) -> bool:
+        """True if the event succeeded.  Only meaningful once triggered."""
+        if self._value is PENDING:
+            raise SimulationError("event value not yet available")
+        return self._ok
+
+    @property
+    def value(self) -> object:
+        """The value the event succeeded/failed with."""
+        if self._value is PENDING:
+            raise SimulationError("event value not yet available")
+        return self._value
+
+    def defuse(self) -> None:
+        """Mark a failure as handled so the kernel does not crash the run."""
+        self._defused = True
+
+    @property
+    def defused(self) -> bool:
+        return self._defused
+
+    # -- triggering ---------------------------------------------------------
+
+    def succeed(self, value: object = None) -> "Event":
+        """Schedule the event to fire successfully with ``value``."""
+        if self._value is not PENDING:
+            raise SimulationError(f"{self!r} has already been triggered")
+        self._ok = True
+        self._value = value
+        self.env.schedule(self)
+        return self
+
+    def fail(self, exception: BaseException) -> "Event":
+        """Schedule the event to fire with ``exception``.
+
+        A process waiting on the event will see the exception raised at its
+        ``yield``.
+        """
+        if not isinstance(exception, BaseException):
+            raise TypeError(f"fail() needs an exception, got {exception!r}")
+        if self._value is not PENDING:
+            raise SimulationError(f"{self!r} has already been triggered")
+        self._ok = False
+        self._value = exception
+        self.env.schedule(self)
+        return self
+
+    def trigger(self, event: "Event") -> None:
+        """Copy another event's outcome onto this one (callback helper)."""
+        if self._value is not PENDING:
+            return
+        self._ok = event._ok
+        self._value = event._value
+        self.env.schedule(self)
+
+    # -- composition sugar ----------------------------------------------------
+
+    def __and__(self, other: "Event") -> "AllOf":
+        """``a & b`` — an event firing when both have fired."""
+        return AllOf(self.env, [self, other])
+
+    def __or__(self, other: "Event") -> "AnyOf":
+        """``a | b`` — an event firing when either has fired."""
+        return AnyOf(self.env, [self, other])
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        state = (
+            "processed"
+            if self.processed
+            else ("triggered" if self.triggered else "pending")
+        )
+        return f"<{type(self).__name__} {state} at {id(self):#x}>"
+
+
+class Timeout(Event):
+    """An event that fires after a fixed virtual-time ``delay``."""
+
+    __slots__ = ("delay",)
+
+    def __init__(self, env: "Environment", delay: float, value: object = None):
+        if delay < 0:
+            raise SimulationError(f"negative timeout delay: {delay!r}")
+        super().__init__(env)
+        self.delay = float(delay)
+        self._ok = True
+        self._value = value
+        env.schedule(self, delay=self.delay)
+
+    def __repr__(self) -> str:  # pragma: no cover
+        return f"<Timeout delay={self.delay}>"
+
+
+class Interrupt(Event):
+    """Internal event used to deliver an interrupt to a process.
+
+    Users call :meth:`repro.sim.Process.interrupt`; they never construct
+    this directly.  The interrupt is delivered as a
+    :class:`repro.errors.ProcessKilled` raised at the target's current
+    ``yield``.
+    """
+
+    __slots__ = ()
+
+
+class _Condition(Event):
+    """Base for composite events (:class:`AllOf` / :class:`AnyOf`)."""
+
+    __slots__ = ("events", "_count")
+
+    def __init__(self, env: "Environment", events: _t.Sequence[Event]):
+        super().__init__(env)
+        self.events = tuple(events)
+        self._count = 0
+        for ev in self.events:
+            if ev.env is not env:
+                raise SimulationError("all events must share one environment")
+            if ev.processed:
+                self._check(ev)
+            else:
+                ev.callbacks.append(self._check)
+        if not self.events and self._value is PENDING:
+            # An empty condition is trivially satisfied.
+            self.succeed(self._collect())
+
+    def _collect(self) -> dict[Event, object]:
+        # Only *processed* events count: a Timeout carries its value from
+        # construction, so ``triggered`` alone would leak future values.
+        return {ev: ev._value for ev in self.events if ev.processed}
+
+    def _check(self, event: Event) -> None:
+        raise NotImplementedError
+
+
+class AllOf(_Condition):
+    """Fires when *all* constituent events have fired.
+
+    Succeeds with a ``{event: value}`` dict.  Fails as soon as any
+    constituent fails (the failure is defused on the constituent).
+    """
+
+    __slots__ = ()
+
+    def _check(self, event: Event) -> None:
+        if not event._ok:
+            # Consume the constituent's failure even if this condition has
+            # already fired (e.g. stragglers killed after an interrupt).
+            event.defuse()
+        if self._value is not PENDING:
+            return
+        if not event._ok:
+            self.fail(_t.cast(BaseException, event._value))
+            return
+        self._count += 1
+        if self._count == len(self.events):
+            self.succeed(self._collect())
+
+
+class AnyOf(_Condition):
+    """Fires when *any* constituent event fires.
+
+    Succeeds with a ``{event: value}`` dict of all events triggered so far.
+    Fails if the first event to fire failed.
+    """
+
+    __slots__ = ()
+
+    def _check(self, event: Event) -> None:
+        if not event._ok:
+            event.defuse()
+        if self._value is not PENDING:
+            return
+        if not event._ok:
+            self.fail(_t.cast(BaseException, event._value))
+            return
+        self.succeed(self._collect())

@@ -1,0 +1,63 @@
+"""Deterministic randomness utilities.
+
+Every stochastic component in the reproduction (network jitter, worker
+speed variation, synthetic weather fields) draws from a seeded
+:class:`numpy.random.Generator`.  To keep subsystems independent —
+adding a draw in one module must not perturb another — seeds are *derived*
+per named stream from a root seed via a stable hash.
+"""
+
+from __future__ import annotations
+
+import hashlib
+
+import numpy as np
+
+__all__ = ["derive_seed", "SeededRNG"]
+
+
+def derive_seed(root_seed: int, *names: object) -> int:
+    """Derive a child seed from ``root_seed`` and a path of names.
+
+    Stable across processes and Python versions (uses BLAKE2, not
+    ``hash()``).
+
+    >>> derive_seed(42, "network") != derive_seed(42, "storage")
+    True
+    >>> derive_seed(42, "network") == derive_seed(42, "network")
+    True
+    """
+    h = hashlib.blake2b(digest_size=8)
+    h.update(str(int(root_seed)).encode())
+    for name in names:
+        h.update(b"/")
+        h.update(str(name).encode())
+    return int.from_bytes(h.digest(), "big")
+
+
+class SeededRNG:
+    """A tree of named, independent random generators.
+
+    >>> rng = SeededRNG(7)
+    >>> a = rng.stream("net").normal()
+    >>> b = SeededRNG(7).stream("net").normal()
+    >>> a == b
+    True
+    """
+
+    def __init__(self, root_seed: int = 0):
+        self.root_seed = int(root_seed)
+        self._streams: dict[tuple, np.random.Generator] = {}
+
+    def stream(self, *names: object) -> np.random.Generator:
+        """Return (creating if needed) the generator for a named stream."""
+        key = tuple(str(n) for n in names)
+        gen = self._streams.get(key)
+        if gen is None:
+            gen = np.random.default_rng(derive_seed(self.root_seed, *key))
+            self._streams[key] = gen
+        return gen
+
+    def child(self, *names: object) -> "SeededRNG":
+        """A sub-tree rooted at a derived seed (for handing to subsystems)."""
+        return SeededRNG(derive_seed(self.root_seed, *names))

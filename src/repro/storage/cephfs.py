@@ -1,0 +1,102 @@
+"""CephFS: the POSIX-ish shared filesystem facade.
+
+Every step of the paper's workflow reads and writes "the storage volume
+(CephFS accessible by all nodes)" (§III-B).  This facade maps paths onto
+a dedicated pool of the object cluster, adds directory listing, and
+offers both instant and timed I/O so pods can mount it as a volume.
+"""
+
+from __future__ import annotations
+
+import posixpath
+import typing as _t
+
+from repro.errors import ObjectNotFoundError
+from repro.sim import Event
+from repro.storage.objects import CephCluster, ObjectRef
+
+__all__ = ["CephFS"]
+
+
+class CephFS:
+    """A path-addressed view over a :class:`CephCluster` pool."""
+
+    def __init__(self, cluster: CephCluster, pool: str = "cephfs", replication: int = 3):
+        self.cluster = cluster
+        self.pool = pool
+        if pool not in cluster.pools:
+            cluster.create_pool(pool, replication=replication)
+
+    @staticmethod
+    def _norm(path: str) -> str:
+        normed = posixpath.normpath("/" + path.lstrip("/"))
+        return normed
+
+    # -- instant API (metadata / small control files) ---------------------------
+
+    def write(self, path: str, size: float, payload: object = None) -> ObjectRef:
+        """Write a file instantly (control-plane convenience)."""
+        return self.cluster.put_sync(self.pool, self._norm(path), size, payload)
+
+    def read(self, path: str) -> ObjectRef:
+        """Read a file's metadata/payload instantly."""
+        return self.cluster.get_sync(self.pool, self._norm(path))
+
+    def exists(self, path: str) -> bool:
+        return self.cluster.exists(self.pool, self._norm(path))
+
+    def remove(self, path: str) -> None:
+        self.cluster.delete(self.pool, self._norm(path))
+
+    def listdir(self, path: str = "/") -> list[str]:
+        """Immediate children (files and sub-directories) of a directory."""
+        prefix = self._norm(path)
+        if not prefix.endswith("/"):
+            prefix += "/"
+        children: set[str] = set()
+        for key in self.cluster.list_keys(self.pool, prefix=prefix):
+            rest = key[len(prefix):]
+            children.add(rest.split("/", 1)[0])
+        return sorted(children)
+
+    def glob_files(self, prefix: str = "/") -> list[str]:
+        """All file paths under a prefix."""
+        return self.cluster.list_keys(self.pool, prefix=self._norm(prefix))
+
+    def du(self, path: str = "/") -> float:
+        """Total bytes stored under a path."""
+        prefix = self._norm(path)
+        total = 0.0
+        for key in self.cluster.list_keys(self.pool):
+            if key == prefix or key.startswith(prefix.rstrip("/") + "/"):
+                total += self.cluster.stat(self.pool, key).size
+        return total
+
+    # -- timed API (bulk data from inside pods) ----------------------------------
+
+    def write_timed(
+        self,
+        path: str,
+        size: float,
+        payload: object = None,
+        client_host: str | None = None,
+    ) -> Event:
+        """Write through the network/disk flow model; yields the ref."""
+        return self.cluster.put(
+            self.pool, self._norm(path), size, payload, client_host=client_host
+        )
+
+    def read_timed(self, path: str, client_host: str | None = None) -> Event:
+        """Read through the network/disk flow model; yields the ref."""
+        return self.cluster.get(self.pool, self._norm(path), client_host=client_host)
+
+    def read_payload(self, path: str) -> object:
+        """Payload of a file, raising if it was stored metadata-only."""
+        ref = self.read(path)
+        if ref.payload is None:
+            raise ObjectNotFoundError(f"{path} has no in-memory payload")
+        return ref.payload
+
+    def __repr__(self) -> str:  # pragma: no cover
+        n = len(self.cluster.list_keys(self.pool))
+        return f"<CephFS pool={self.pool} files={n}>"

@@ -1,0 +1,78 @@
+"""Object Storage Daemons: the disks of the Ceph-like cluster."""
+
+from __future__ import annotations
+
+from repro.errors import StorageError
+from repro.netsim.flows import CapacityResource
+
+__all__ = ["OSD"]
+
+
+class OSD:
+    """One storage daemon: a disk on a host.
+
+    Parameters
+    ----------
+    id:
+        Cluster-unique integer id.
+    host:
+        Hostname of the machine carrying the disk (the failure domain;
+        also the network attachment point when transfers are simulated).
+    capacity:
+        Usable bytes.
+    disk_Bps:
+        Device bandwidth in bytes/s (SSD ~500 MB/s, NVMe ~3 GB/s).  The
+        bandwidth is a :class:`CapacityResource`, shared max-min between
+        concurrent reads/writes by the same flow engine as the network.
+    """
+
+    def __init__(self, id: int, host: str, capacity: float, disk_Bps: float = 500e6):
+        if capacity <= 0:
+            raise StorageError(f"osd.{id}: capacity must be positive")
+        self.id = id
+        self.host = host
+        self.capacity = float(capacity)
+        self.disk = CapacityResource(name=f"osd.{id}:disk", capacity=disk_Bps)
+        self.up = True
+        self.used = 0.0
+        #: (pool, key) -> replica size in bytes
+        self.replicas: dict[tuple[str, str], float] = {}
+
+    @property
+    def weight(self) -> float:
+        """CRUSH weight (proportional to capacity, in TB units)."""
+        return self.capacity / 1e12
+
+    @property
+    def free(self) -> float:
+        return self.capacity - self.used
+
+    def store(self, pool: str, key: str, size: float) -> None:
+        """Account a replica onto this disk."""
+        if not self.up:
+            raise StorageError(f"osd.{self.id} is down")
+        if size > self.free:
+            raise StorageError(
+                f"osd.{self.id} full: {size:.3g}B requested, {self.free:.3g}B free"
+            )
+        handle = (pool, key)
+        if handle in self.replicas:
+            self.used -= self.replicas[handle]
+        self.replicas[handle] = size
+        self.used += size
+
+    def evict(self, pool: str, key: str) -> None:
+        """Drop a replica (idempotent)."""
+        size = self.replicas.pop((pool, key), None)
+        if size is not None:
+            self.used -= size
+
+    def holds(self, pool: str, key: str) -> bool:
+        return (pool, key) in self.replicas
+
+    def __repr__(self) -> str:
+        state = "up" if self.up else "down"
+        return (
+            f"<OSD {self.id} on {self.host} [{state}] "
+            f"{self.used / 1e9:.1f}/{self.capacity / 1e9:.0f} GB>"
+        )

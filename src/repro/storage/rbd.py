@@ -1,0 +1,149 @@
+"""RBD-like block volumes: the "block" third of Ceph's storage trio.
+
+Paper §II-A: "Ceph provides block, object, and POSIX compliant file
+storage as a service within the cluster."  Kubernetes consumes the block
+side as PersistentVolumes; this module models that path: images are
+thin-provisioned over the object pool (one backing object per extent),
+claimed by pods, resized, and snapshotted.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+
+from repro.errors import ConflictError, StorageError
+from repro.storage.objects import CephCluster
+
+__all__ = ["BlockImage", "RBDPool"]
+
+#: Extent (object) size backing an image: 4 MiB, Ceph's default.
+EXTENT_BYTES = 4 * 1024 * 1024
+
+
+@dataclasses.dataclass
+class BlockImage:
+    """One block device image."""
+
+    name: str
+    size_bytes: float
+    provisioned_extents: int = 0
+    claimed_by: str | None = None
+    snapshots: dict[str, int] = dataclasses.field(default_factory=dict)
+
+    @property
+    def total_extents(self) -> int:
+        return int(-(-self.size_bytes // EXTENT_BYTES))  # ceil
+
+    @property
+    def thin_utilization(self) -> float:
+        """Fraction of the logical size actually backed by objects."""
+        if self.total_extents == 0:
+            return 0.0
+        return self.provisioned_extents / self.total_extents
+
+
+class RBDPool:
+    """Block-image management over a Ceph pool.
+
+    Thin provisioning: creating an image costs nothing; extents are
+    backed by real (replicated) objects only when written.
+    """
+
+    def __init__(self, cluster: CephCluster, pool: str = "rbd",
+                 replication: int = 3):
+        self.cluster = cluster
+        self.pool = pool
+        if pool not in cluster.pools:
+            cluster.create_pool(pool, replication=replication)
+        self.images: dict[str, BlockImage] = {}
+
+    def create_image(self, name: str, size_bytes: float) -> BlockImage:
+        """``rbd create``: a thin-provisioned image."""
+        if name in self.images:
+            raise ConflictError(f"image {name!r} already exists")
+        if size_bytes <= 0:
+            raise StorageError("image size must be positive")
+        image = BlockImage(name=name, size_bytes=float(size_bytes))
+        self.images[name] = image
+        return image
+
+    def _image(self, name: str) -> BlockImage:
+        try:
+            return self.images[name]
+        except KeyError:
+            raise StorageError(f"no image {name!r}") from None
+
+    # -- attachment (PersistentVolumeClaim semantics) -------------------------------
+
+    def claim(self, name: str, pod_uid: str) -> BlockImage:
+        """Attach an image to a pod (RWO: one claimant at a time)."""
+        image = self._image(name)
+        if image.claimed_by is not None and image.claimed_by != pod_uid:
+            raise ConflictError(
+                f"image {name!r} is already claimed by {image.claimed_by!r}"
+            )
+        image.claimed_by = pod_uid
+        return image
+
+    def release(self, name: str, pod_uid: str) -> None:
+        image = self._image(name)
+        if image.claimed_by == pod_uid:
+            image.claimed_by = None
+
+    # -- I/O ----------------------------------------------------------------------
+
+    def write(self, name: str, offset: float, nbytes: float) -> int:
+        """Write a byte range; returns the number of newly-backed extents.
+
+        Only the claimant may write; writes past the end fail.
+        """
+        image = self._image(name)
+        if image.claimed_by is None:
+            raise StorageError(f"image {name!r} is not claimed")
+        if offset < 0 or nbytes < 0 or offset + nbytes > image.size_bytes:
+            raise StorageError(
+                f"write [{offset}, {offset + nbytes}) outside image of "
+                f"{image.size_bytes} bytes"
+            )
+        first = int(offset // EXTENT_BYTES)
+        last = int((offset + max(nbytes, 1) - 1) // EXTENT_BYTES)
+        newly_backed = 0
+        for extent in range(first, last + 1):
+            key = f"{name}/extent-{extent:08d}"
+            if not self.cluster.exists(self.pool, key):
+                self.cluster.put_sync(self.pool, key, EXTENT_BYTES)
+                image.provisioned_extents += 1
+                newly_backed += 1
+        return newly_backed
+
+    def resize(self, name: str, new_size: float) -> None:
+        """Grow (never shrink below provisioned data) an image."""
+        image = self._image(name)
+        if new_size < image.provisioned_extents * EXTENT_BYTES:
+            raise StorageError("cannot shrink below provisioned extents")
+        image.size_bytes = float(new_size)
+
+    # -- snapshots -----------------------------------------------------------------
+
+    def snapshot(self, name: str, snap_name: str) -> None:
+        """Record a point-in-time extent count (COW bookkeeping model)."""
+        image = self._image(name)
+        if snap_name in image.snapshots:
+            raise ConflictError(f"snapshot {snap_name!r} exists")
+        image.snapshots[snap_name] = image.provisioned_extents
+
+    def remove_image(self, name: str) -> None:
+        """``rbd rm``: drop the image and its backing objects."""
+        image = self._image(name)
+        if image.claimed_by is not None:
+            raise StorageError(f"image {name!r} is claimed; release first")
+        for key in self.cluster.list_keys(self.pool, prefix=f"{name}/"):
+            self.cluster.delete(self.pool, key)
+        del self.images[name]
+
+    def provisioned_bytes(self) -> float:
+        """Real bytes backing all images (before replication)."""
+        return sum(
+            img.provisioned_extents * EXTENT_BYTES
+            for img in self.images.values()
+        )

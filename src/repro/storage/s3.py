@@ -1,0 +1,194 @@
+"""S3-compatible object gateway over the Ceph cluster.
+
+Paper §II-A: data in Nautilus is "compatible with other cloud storage
+solutions such as Amazon S3, OpenStack Swift, and various supercomputer
+storage architectures via the Ceph Object Store" — the RADOS Gateway.
+This facade exposes the familiar bucket/key API, including multipart
+uploads (how big scientific objects actually move), mapped onto pools of
+a :class:`~repro.storage.objects.CephCluster`.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import hashlib
+import typing as _t
+
+from repro.errors import ConflictError, ObjectNotFoundError, StorageError
+from repro.storage.objects import CephCluster, ObjectRef
+
+__all__ = ["S3Gateway", "MultipartUpload", "S3Object"]
+
+#: S3's minimum part size (5 MiB), enforced for all but the last part.
+MIN_PART_BYTES = 5 * 1024 * 1024
+
+
+@dataclasses.dataclass(frozen=True)
+class S3Object:
+    """A listed object: key, size, etag."""
+
+    bucket: str
+    key: str
+    size: float
+    etag: str
+
+
+class MultipartUpload:
+    """An in-progress multipart upload (parts may arrive out of order)."""
+
+    def __init__(self, gateway: "S3Gateway", bucket: str, key: str, upload_id: str):
+        self._gateway = gateway
+        self.bucket = bucket
+        self.key = key
+        self.upload_id = upload_id
+        self.parts: dict[int, tuple[float, object]] = {}
+        self.completed = False
+        self.aborted = False
+
+    def upload_part(self, part_number: int, size: float, payload: object = None) -> str:
+        """Store one part; returns its etag."""
+        if self.completed or self.aborted:
+            raise StorageError(f"upload {self.upload_id} is closed")
+        if part_number < 1 or part_number > 10_000:
+            raise StorageError("part numbers must be in 1..10000")
+        if size < 0:
+            raise StorageError("negative part size")
+        self.parts[part_number] = (float(size), payload)
+        return _etag(f"{self.upload_id}:{part_number}:{size}")
+
+    def complete(self) -> S3Object:
+        """Assemble the parts into the final object.
+
+        Enforces S3's rule: every part except the last must be at least
+        5 MiB.
+        """
+        if self.aborted:
+            raise StorageError(f"upload {self.upload_id} was aborted")
+        if not self.parts:
+            raise StorageError("cannot complete an upload with no parts")
+        ordered = sorted(self.parts)
+        for part_number in ordered[:-1]:
+            if self.parts[part_number][0] < MIN_PART_BYTES:
+                raise StorageError(
+                    f"part {part_number} is below the 5 MiB minimum"
+                )
+        total = sum(size for size, _ in self.parts.values())
+        payloads = [
+            self.parts[n][1] for n in ordered if self.parts[n][1] is not None
+        ]
+        payload = payloads if payloads else None
+        obj = self._gateway._put_object(self.bucket, self.key, total, payload)
+        self.completed = True
+        self._gateway._uploads.pop(self.upload_id, None)
+        return obj
+
+    def abort(self) -> None:
+        """Discard all parts."""
+        self.aborted = True
+        self.parts.clear()
+        self._gateway._uploads.pop(self.upload_id, None)
+
+
+def _etag(seed: str) -> str:
+    return hashlib.blake2b(seed.encode(), digest_size=16).hexdigest()
+
+
+class S3Gateway:
+    """Bucket/key API mapped onto Ceph pools.
+
+    Each bucket is one pool named ``s3-<bucket>``; keys map directly to
+    object keys.  All metadata operations are instant (the gateway is a
+    control-plane facade); bulk data still moves through the cluster's
+    timed path when callers use :meth:`put_object_timed`.
+    """
+
+    def __init__(self, cluster: CephCluster, replication: int = 3):
+        self.cluster = cluster
+        self.replication = replication
+        self._uploads: dict[str, MultipartUpload] = {}
+        self._upload_serial = 0
+
+    # -- buckets ------------------------------------------------------------------
+
+    @staticmethod
+    def _pool(bucket: str) -> str:
+        return f"s3-{bucket}"
+
+    def create_bucket(self, bucket: str) -> None:
+        if not bucket or "/" in bucket:
+            raise StorageError(f"invalid bucket name {bucket!r}")
+        if self._pool(bucket) in self.cluster.pools:
+            raise ConflictError(f"bucket {bucket!r} already exists")
+        self.cluster.create_pool(self._pool(bucket), replication=self.replication)
+
+    def bucket_exists(self, bucket: str) -> bool:
+        return self._pool(bucket) in self.cluster.pools
+
+    def list_buckets(self) -> list[str]:
+        return sorted(
+            name[3:] for name in self.cluster.pools if name.startswith("s3-")
+        )
+
+    def _require_bucket(self, bucket: str) -> str:
+        pool = self._pool(bucket)
+        if pool not in self.cluster.pools:
+            raise ObjectNotFoundError(f"no bucket {bucket!r}")
+        return pool
+
+    # -- objects -------------------------------------------------------------------
+
+    def _put_object(
+        self, bucket: str, key: str, size: float, payload: object = None
+    ) -> S3Object:
+        pool = self._require_bucket(bucket)
+        self.cluster.put_sync(pool, key, size, payload)
+        return S3Object(bucket=bucket, key=key, size=size,
+                        etag=_etag(f"{bucket}/{key}/{size}"))
+
+    def put_object(
+        self, bucket: str, key: str, size: float, payload: object = None
+    ) -> S3Object:
+        """Instant PUT (control-plane sized objects)."""
+        return self._put_object(bucket, key, size, payload)
+
+    def put_object_timed(self, bucket: str, key: str, size: float,
+                         payload: object = None, client_host: str | None = None):
+        """PUT through the flow engine; returns a simulation event."""
+        pool = self._require_bucket(bucket)
+        return self.cluster.put(pool, key, size, payload,
+                                client_host=client_host)
+
+    def get_object(self, bucket: str, key: str) -> ObjectRef:
+        pool = self._require_bucket(bucket)
+        return self.cluster.get_sync(pool, key)
+
+    def head_object(self, bucket: str, key: str) -> S3Object:
+        pool = self._require_bucket(bucket)
+        ref = self.cluster.stat(pool, key)
+        return S3Object(bucket=bucket, key=key, size=ref.size,
+                        etag=_etag(f"{bucket}/{key}/{ref.size}"))
+
+    def delete_object(self, bucket: str, key: str) -> None:
+        pool = self._require_bucket(bucket)
+        self.cluster.delete(pool, key)
+
+    def list_objects(self, bucket: str, prefix: str = "") -> list[S3Object]:
+        pool = self._require_bucket(bucket)
+        return [
+            self.head_object(bucket, key)
+            for key in self.cluster.list_keys(pool, prefix=prefix)
+        ]
+
+    # -- multipart -----------------------------------------------------------------
+
+    def create_multipart_upload(self, bucket: str, key: str) -> MultipartUpload:
+        """Begin a multipart upload (how >5 GB scientific objects move)."""
+        self._require_bucket(bucket)
+        self._upload_serial += 1
+        upload_id = f"mpu-{self._upload_serial:06d}"
+        upload = MultipartUpload(self, bucket, key, upload_id)
+        self._uploads[upload_id] = upload
+        return upload
+
+    def list_multipart_uploads(self) -> list[str]:
+        return sorted(self._uploads)

@@ -1,0 +1,154 @@
+"""An Aria2-like parallel downloader.
+
+"each worker uses the open source Aria2 file transfer software that
+allows multiple parallel downloads (20 parallel downloads in our case) to
+retrieve urls stored in a list of data files" (§III-A).
+
+The downloader owns a pool of connection slots; each file download is a
+flow across the THREDDS server's network path, so 20 concurrent
+connections genuinely contend for (and saturate) the NIC/WAN — giving the
+link-bounded behaviour of Figure 4.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import typing as _t
+
+from repro.netsim.flows import FlowSimulator
+from repro.netsim.topology import Topology
+from repro.sim import Environment, Resource
+from repro.transfer.thredds import SubsetRequest, ThreddsServer
+
+__all__ = ["DownloadStats", "Aria2Downloader"]
+
+
+@dataclasses.dataclass
+class DownloadStats:
+    """What one ``download_batch`` moved."""
+
+    files: int = 0
+    bytes: float = 0.0
+    started_at: float = 0.0
+    finished_at: float = 0.0
+
+    @property
+    def duration(self) -> float:
+        return self.finished_at - self.started_at
+
+    @property
+    def mean_rate_Bps(self) -> float:
+        return self.bytes / self.duration if self.duration > 0 else 0.0
+
+
+class Aria2Downloader:
+    """Connection-pooled downloader bound to one worker host.
+
+    Parameters
+    ----------
+    env, flowsim, topology:
+        Simulation plumbing.
+    server:
+        The THREDDS server to pull from.
+    host:
+        The worker's hostname on the topology (its NIC bounds throughput).
+    connections:
+        Maximum concurrent downloads (aria2's ``-j``; the paper uses 20).
+    """
+
+    def __init__(
+        self,
+        env: Environment,
+        flowsim: FlowSimulator,
+        topology: Topology,
+        server: ThreddsServer,
+        host: str,
+        connections: int = 20,
+        coalesce_threshold: int = 0,
+    ):
+        if connections < 1:
+            raise ValueError("connections must be >= 1")
+        self.env = env
+        self.flowsim = flowsim
+        self.topology = topology
+        self.server = server
+        self.host = host
+        self.connections = connections
+        #: When a batch holds more than this many files (and the feature
+        #: is enabled, > 0), each connection streams its share as ONE
+        #: flow with the per-file overheads summed — byte- and
+        #: overhead-exact, but with O(connections) instead of O(files)
+        #: simulator events.  Essential at the paper's 112k-file scale.
+        self.coalesce_threshold = coalesce_threshold
+        self._slots = Resource(env, capacity=connections)
+        self.total_stats = DownloadStats()
+
+    def _download_one(self, request: SubsetRequest):
+        """One connection: overhead + flow across the server->host path."""
+        with self._slots.request() as slot:
+            yield slot
+            yield self.env.timeout(self.server.request_overhead_s)
+            path = self.topology.path_resources(self.server.host, self.host)
+            yield self.flowsim.transfer(
+                path,
+                request.nbytes,
+                latency_s=self.topology.path_latency(self.server.host, self.host),
+                name=f"aria2:{self.host}:{request.granule.name}",
+            )
+        self.total_stats.files += 1
+        self.total_stats.bytes += request.nbytes
+
+    def _download_stream(self, requests: _t.Sequence[SubsetRequest]):
+        """One connection streaming many files back-to-back: summed
+        request overheads + one flow carrying the combined payload."""
+        with self._slots.request() as slot:
+            yield slot
+            yield self.env.timeout(self.server.request_overhead_s * len(requests))
+            path = self.topology.path_resources(self.server.host, self.host)
+            total = sum(r.nbytes for r in requests)
+            yield self.flowsim.transfer(
+                path,
+                total,
+                latency_s=self.topology.path_latency(self.server.host, self.host),
+                name=f"aria2-stream:{self.host}:{len(requests)}f",
+            )
+        self.total_stats.files += len(requests)
+        self.total_stats.bytes += total
+
+    def download_batch(self, requests: _t.Sequence[SubsetRequest]):
+        """Generator process: download all ``requests`` with up to
+        ``connections`` in flight; returns a :class:`DownloadStats`.
+
+        Use as ``stats = yield env.process(dl.download_batch(reqs))`` or
+        ``yield from`` inside another generator.
+        """
+        stats = DownloadStats(started_at=self.env.now)
+        threshold = self.coalesce_threshold
+        if threshold and len(requests) > max(threshold, self.connections):
+            # Round-robin the files across connections so each stream
+            # carries a near-equal byte share.
+            groups: list[list[SubsetRequest]] = [
+                list(requests[k :: self.connections])
+                for k in range(self.connections)
+            ]
+            procs = [
+                self.env.process(
+                    self._download_stream(group),
+                    name=f"aria2-stream:{self.host}:{k}",
+                )
+                for k, group in enumerate(groups)
+                if group
+            ]
+        else:
+            procs = [
+                self.env.process(
+                    self._download_one(req), name=f"aria2-conn:{req.granule.index}"
+                )
+                for req in requests
+            ]
+        if procs:
+            yield self.env.all_of(procs)
+        stats.files = len(requests)
+        stats.bytes = sum(r.nbytes for r in requests)
+        stats.finished_at = self.env.now
+        return stats

@@ -1,0 +1,94 @@
+"""Merging small NetCDF granules into large HDF files.
+
+"each worker also merges the small individual files into larger
+(Hierarchical Data Format) files for input into the FFN model and
+transfers the larger file to the Ceph Object Store" (§III-A).
+
+The merge itself is modelled as CPU work (per-file open/parse overhead +
+per-byte copy cost) with a small container-format saving, since 112k tiny
+files become a few hundred large ones.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import typing as _t
+
+from repro.data.netcdf import NetCDFFile
+
+__all__ = ["merged_hdf_size", "merge_cpu_seconds", "MergePlanner"]
+
+#: Per-file parse/open overhead when merging (seconds of CPU).
+PER_FILE_CPU_S = 0.004
+#: Copy throughput of the merge loop (bytes per CPU-second).
+MERGE_BYTES_PER_CPU_S = 400e6
+#: Header overhead eliminated per merged-away file.
+HEADER_SAVING_BYTES = NetCDFFile.HEADER_BYTES
+
+
+def merged_hdf_size(file_sizes: _t.Sequence[float]) -> float:
+    """Bytes of the merged HDF container for ``file_sizes`` granules.
+
+    One container header survives; the rest of the per-file headers are
+    saved.
+    """
+    if not file_sizes:
+        return 0.0
+    total = float(sum(file_sizes))
+    return total - HEADER_SAVING_BYTES * (len(file_sizes) - 1)
+
+
+def merge_cpu_seconds(file_sizes: _t.Sequence[float]) -> float:
+    """CPU time to merge ``file_sizes`` granules into one HDF file."""
+    total = float(sum(file_sizes))
+    return PER_FILE_CPU_S * len(file_sizes) + total / MERGE_BYTES_PER_CPU_S
+
+
+@dataclasses.dataclass
+class MergePlan:
+    """One output HDF file: which granule indices it contains."""
+
+    output_name: str
+    granule_indices: list[int]
+    input_bytes: float
+    output_bytes: float
+    cpu_seconds: float
+
+
+class MergePlanner:
+    """Groups downloaded granules into merge batches.
+
+    Parameters
+    ----------
+    files_per_merge:
+        Granules per output HDF file.  The paper merges a worker's chunk
+        as it completes; ~240 3-hourly granules (30 days) per output file
+        matches the training volume granularity of §III-B.
+    """
+
+    def __init__(self, files_per_merge: int = 240):
+        if files_per_merge < 1:
+            raise ValueError("files_per_merge must be >= 1")
+        self.files_per_merge = files_per_merge
+
+    def plan(
+        self, indices: _t.Sequence[int], sizes: _t.Mapping[int, float], worker: str
+    ) -> list[MergePlan]:
+        """Partition ``indices`` (with per-granule ``sizes``) into plans."""
+        plans: list[MergePlan] = []
+        ordered = sorted(indices)
+        for start in range(0, len(ordered), self.files_per_merge):
+            chunk = ordered[start : start + self.files_per_merge]
+            chunk_sizes = [sizes[i] for i in chunk]
+            plans.append(
+                MergePlan(
+                    output_name=(
+                        f"merged/{worker}/ivt_{chunk[0]:06d}_{chunk[-1]:06d}.h5"
+                    ),
+                    granule_indices=list(chunk),
+                    input_bytes=float(sum(chunk_sizes)),
+                    output_bytes=merged_hdf_size(chunk_sizes),
+                    cpu_seconds=merge_cpu_seconds(chunk_sizes),
+                )
+            )
+        return plans

@@ -1,0 +1,37 @@
+"""Renderers for every figure and table in the paper's evaluation.
+
+Each ``render_*`` function regenerates one artifact from a testbed and/or
+workflow report, as text: the benchmark harness prints these so a run's
+output can be compared side by side with the paper.
+"""
+
+from repro.viz.report import (
+    render_figure1,
+    render_figure2,
+    render_figure3,
+    render_figure4,
+    render_figure5,
+    render_figure6,
+    render_table1,
+    figure3_stats,
+    figure4_stats,
+    figure5_stats,
+    figure6_stats,
+)
+from repro.viz.ascii import bar_chart, text_table
+
+__all__ = [
+    "render_figure1",
+    "render_figure2",
+    "render_figure3",
+    "render_figure4",
+    "render_figure5",
+    "render_figure6",
+    "render_table1",
+    "figure3_stats",
+    "figure4_stats",
+    "figure5_stats",
+    "figure6_stats",
+    "bar_chart",
+    "text_table",
+]

@@ -1,0 +1,59 @@
+"""Plain-text chart primitives: tables and horizontal bar charts."""
+
+from __future__ import annotations
+
+import typing as _t
+
+__all__ = ["text_table", "bar_chart"]
+
+
+def text_table(
+    headers: _t.Sequence[str],
+    rows: _t.Sequence[_t.Sequence[object]],
+    title: str = "",
+) -> str:
+    """Render an aligned text table (all cells stringified)."""
+    cells = [[str(c) for c in row] for row in rows]
+    widths = [
+        max(len(str(headers[i])), *(len(r[i]) for r in cells)) if cells else len(str(headers[i]))
+        for i in range(len(headers))
+    ]
+    sep = "+".join("-" * (w + 2) for w in widths)
+    sep = f"+{sep}+"
+
+    def fmt(row: _t.Sequence[str]) -> str:
+        inner = " | ".join(c.ljust(w) for c, w in zip(row, widths))
+        return f"| {inner} |"
+
+    lines = []
+    if title:
+        lines.append(title)
+    lines.append(sep)
+    lines.append(fmt([str(h) for h in headers]))
+    lines.append(sep)
+    for row in cells:
+        lines.append(fmt(row))
+    lines.append(sep)
+    return "\n".join(lines)
+
+
+def bar_chart(
+    items: _t.Sequence[tuple[str, float]],
+    width: int = 50,
+    unit: str = "",
+    title: str = "",
+) -> str:
+    """Horizontal bar chart: one ``(label, value)`` per row."""
+    if not items:
+        return title or "(empty)"
+    finite = [v for _, v in items if v == v and abs(v) != float("inf")]
+    peak = max(finite, default=0.0) or 1.0
+    label_w = max(len(label) for label, _ in items)
+    lines = [title] if title else []
+    for label, value in items:
+        if value != value or abs(value) == float("inf"):
+            lines.append(f"{label:<{label_w}} (no finite value)")
+            continue
+        bar = "█" * max(0, int(round(width * value / peak)))
+        lines.append(f"{label:<{label_w}} {bar} {value:,.2f}{unit}")
+    return "\n".join(lines)

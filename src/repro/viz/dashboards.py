@@ -1,0 +1,57 @@
+"""Prebuilt Grafana-style dashboards for a Nautilus testbed.
+
+"Grafana ... graphs cluster health and performance data" (§II-A); admins
+don't assemble panels by hand every time — they load the standard
+cluster dashboard.  These builders produce the equivalents for a
+:class:`~repro.testbed.NautilusTestbed`.
+"""
+
+from __future__ import annotations
+
+import typing as _t
+
+from repro.monitoring import Dashboard, Panel
+
+if _t.TYPE_CHECKING:  # pragma: no cover
+    from repro.testbed import NautilusTestbed
+
+__all__ = ["build_cluster_dashboard", "build_workflow_dashboard"]
+
+
+def build_cluster_dashboard(testbed: "NautilusTestbed") -> Dashboard:
+    """The cluster-health view: per-node compute + storage + network."""
+    dash = Dashboard(f"Nautilus cluster — {testbed.cluster.name}",
+                     testbed.registry)
+    dash.add_panel(Panel(title="CPU allocated (cores)",
+                         metric="node_cpu_allocated", unit="cores"))
+    dash.add_panel(Panel(title="Memory allocated",
+                         metric="node_memory_allocated", unit="GB",
+                         scale=1e-9))
+    dash.add_panel(Panel(title="GPUs in use", metric="node_gpu_in_use",
+                         unit="GPUs"))
+    dash.add_panel(Panel(title="Ceph bytes stored", metric="ceph_bytes_used",
+                         unit="TB", scale=1e-12, kind="stat"))
+    dash.add_panel(Panel(title="Ceph disk writes",
+                         metric="ceph_disk_write_Bps", unit="MB/s",
+                         scale=1e-6))
+    dash.add_panel(Panel(title="THREDDS egress", metric="thredds_egress_Bps",
+                         unit="MB/s", scale=1e-6))
+    return dash
+
+
+def build_workflow_dashboard(testbed: "NautilusTestbed") -> Dashboard:
+    """The workflow view: the per-step series Figures 3/5/6 are built on."""
+    dash = Dashboard("CONNECT workflow", testbed.registry)
+    dash.add_panel(Panel(title="Step 1 worker CPU (per worker)",
+                         metric="step1_worker_cpu", unit="cores"))
+    dash.add_panel(Panel(title="Step 1 bytes downloaded",
+                         metric="step1_bytes_downloaded", unit="GB",
+                         scale=1e-9, kind="stat"))
+    dash.add_panel(Panel(title="Step 2 phase (0 fetch/1 prep/2 train/3 done)",
+                         metric="step2_phase"))
+    dash.add_panel(Panel(title="Step 3 GPU busy (per worker)",
+                         metric="step3_gpu_busy"))
+    dash.add_panel(Panel(title="Step 3 voxels segmented",
+                         metric="step3_voxels_done", kind="stat",
+                         unit="voxels"))
+    return dash

@@ -1,0 +1,232 @@
+"""The workflow driver: execute, measure, report.
+
+"The workflow manager specifies the state configuration and passes it on
+to Kubernetes, and Kubernetes creates the specified state in its system"
+(§V): the driver never places pods itself — steps declare Jobs and the
+cluster's scheduler/controllers do the rest.  What the driver *does* own
+is contribution 5: per-step measurement.  While a step runs, every pod
+phase transition in the step's namespace updates peak pod/CPU/GPU/memory
+usage, producing the Table-I rows and the series behind Figures 3–6.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import typing as _t
+
+from repro.cluster.pod import Pod, PodPhase
+from repro.errors import StepFailedError
+from repro.testbed import NautilusTestbed
+from repro.workflow.step import StepContext, StepReport
+from repro.workflow.workflow import Workflow
+
+__all__ = ["WorkflowDriver", "WorkflowReport"]
+
+
+@dataclasses.dataclass
+class WorkflowReport:
+    """Outcome of one workflow execution."""
+
+    workflow_name: str
+    steps: list[StepReport]
+    total_duration_s: float
+
+    @property
+    def succeeded(self) -> bool:
+        return all(s.succeeded for s in self.steps)
+
+    def step(self, name: str) -> StepReport:
+        for report in self.steps:
+            if report.name == name:
+                return report
+        raise KeyError(f"no step {name!r} in report")
+
+    def table(self) -> dict[str, dict[str, object]]:
+        """Table-I-shaped summary: one column per step."""
+        out: dict[str, dict[str, object]] = {}
+        for report in self.steps:
+            out[report.name] = {
+                "pods": report.pods,
+                "cpus": round(report.cpus, 1),
+                "gpus": report.gpus,
+                "data_processed_gb": report.data_processed_bytes / 1e9,
+                "memory_gb": report.memory_bytes / 1e9,
+                "total_time": report.total_time_cell(),
+                "total_minutes": (
+                    None if report.interactive else round(report.duration_minutes, 1)
+                ),
+            }
+        return out
+
+
+class _NamespaceMeter:
+    """Tracks peak concurrent pods/CPU/GPU/memory in one namespace."""
+
+    def __init__(self, namespace: str):
+        self.namespace = namespace
+        self.running: dict[str, Pod] = {}
+        self.peak_pods = 0
+        self.peak_cpu = 0.0
+        self.peak_gpu = 0
+        self.peak_memory = 0.0
+        self.pods_seen: set[str] = set()
+
+    def on_phase(self, pod: Pod, _old: PodPhase, new: PodPhase) -> None:
+        if pod.meta.namespace != self.namespace:
+            return
+        if new is PodPhase.RUNNING:
+            self.running[pod.meta.uid] = pod
+            self.pods_seen.add(pod.meta.uid)
+        elif new.is_terminal():
+            self.running.pop(pod.meta.uid, None)
+        self._update_peaks()
+
+    def _update_peaks(self) -> None:
+        pods = len(self.running)
+        cpu = gpu = mem = 0.0
+        for pod in self.running.values():
+            request = pod.spec.total_request()
+            cpu += request.cpu
+            gpu += request.gpu
+            mem += request.memory
+        self.peak_pods = max(self.peak_pods, pods)
+        self.peak_cpu = max(self.peak_cpu, cpu)
+        self.peak_gpu = max(self.peak_gpu, int(gpu))
+        self.peak_memory = max(self.peak_memory, mem)
+
+
+class WorkflowDriver:
+    """Runs workflows on a testbed with per-step measurement."""
+
+    def __init__(self, testbed: NautilusTestbed):
+        self.testbed = testbed
+
+    def run(self, workflow: Workflow, fail_fast: bool = True) -> WorkflowReport:
+        """Execute the workflow and return the report.
+
+        Steps whose dependencies are all satisfied run **concurrently**
+        (independent DAG branches overlap; the CONNECT chain still runs
+        sequentially because each step depends on its predecessor).
+        Each step runs in its own namespace ``<workflow>-<step>``; the
+        report's resource columns are the measured peaks, not the
+        declared requests.
+        """
+        env = self.testbed.env
+        start = env.now
+        reports: list[StepReport] = []
+        reports_by_name: dict[str, StepReport] = {}
+        artifacts: dict[str, dict] = {}
+
+        def _run_step(step):
+            """Run one step with retries; returns (name, error|None)."""
+            report = reports_by_name[step.name]
+            namespace = f"{workflow.name}-{step.name}".lower()
+            if namespace not in self.testbed.cluster.namespaces:
+                self.testbed.cluster.create_namespace(namespace)
+            meter = _NamespaceMeter(namespace)
+            self.testbed.cluster.phase_hooks.append(meter.on_phase)
+            ctx = StepContext(
+                testbed=self.testbed,
+                params=dict(step.params),
+                artifacts=artifacts,
+                report=report,
+                namespace=namespace,
+            )
+            report.start_time = env.now
+            error: str | None = None
+            try:
+                for attempt in range(step.max_retries + 1):
+                    try:
+                        yield env.process(
+                            step.execute(ctx),
+                            name=f"step:{step.name}#{attempt}",
+                        )
+                        report.succeeded = True
+                        report.retries = attempt
+                        report.error = ""  # clear earlier attempts' errors
+                        break
+                    except Exception as exc:  # noqa: BLE001
+                        report.succeeded = False
+                        report.error = repr(exc)
+                        report.retries = attempt
+                        if attempt >= step.max_retries:
+                            error = repr(exc)
+                            break
+                        self.testbed.cluster.record_event(
+                            "Workflow",
+                            step.name,
+                            "Retrying",
+                            f"attempt {attempt + 1} failed: {exc!r}",
+                        )
+                        yield env.timeout(step.retry_delay_s)
+            finally:
+                report.end_time = env.now
+                self._absorb_meter(report, meter)
+                if meter.on_phase in self.testbed.cluster.phase_hooks:
+                    self.testbed.cluster.phase_hooks.remove(meter.on_phase)
+            artifacts[step.name] = dict(report.artifacts)
+            return (step.name, error)
+
+        def _run_all():
+            pending = list(workflow.order)
+            running: dict[str, object] = {}
+            done: set[str] = set()
+            failed: set[str] = set()
+            while pending or running:
+                # Launch every step whose dependencies have succeeded.
+                for name in list(pending):
+                    step = workflow.steps[name]
+                    if any(dep in failed for dep in step.depends_on):
+                        pending.remove(name)  # upstream failed: skip
+                        continue
+                    if all(dep in done for dep in step.depends_on):
+                        pending.remove(name)
+                        report = StepReport(name=name)
+                        reports.append(report)
+                        reports_by_name[name] = report
+                        running[name] = env.process(
+                            _run_step(step), name=f"step-runner:{name}"
+                        )
+                if not running:
+                    break  # remaining steps are all blocked by failures
+                finished = yield env.any_of(list(running.values()))
+                for proc_event, value in finished.items():
+                    name, error = value
+                    running.pop(name, None)
+                    if error is None:
+                        done.add(name)
+                    else:
+                        failed.add(name)
+                        if fail_fast:
+                            # Let already-running siblings finish, then stop.
+                            if running:
+                                yield env.all_of(list(running.values()))
+                            raise StepFailedError(name, error)
+
+        proc = env.process(_run_all(), name=f"workflow:{workflow.name}")
+        try:
+            env.run(until=proc)
+        except StepFailedError:
+            pass  # the failure is recorded in the step report
+        return WorkflowReport(
+            workflow_name=workflow.name,
+            steps=reports,
+            total_duration_s=env.now - start,
+        )
+
+    @staticmethod
+    def _absorb_meter(report: StepReport, meter: _NamespaceMeter) -> None:
+        report.pods = meter.peak_pods
+        report.cpus = meter.peak_cpu
+        report.gpus = meter.peak_gpu
+        report.memory_bytes = meter.peak_memory
+
+
+def run_single_step(
+    testbed: NautilusTestbed, step, workflow_name: str = "adhoc"
+) -> StepReport:
+    """PPoDS convenience: run one step in isolation ("each step can
+    easily be tested independently of one another", §VI)."""
+    wf = Workflow(workflow_name, [step])
+    report = WorkflowDriver(testbed).run(wf)
+    return report.steps[0]

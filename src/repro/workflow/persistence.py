@@ -1,0 +1,117 @@
+"""Saving and reloading workflow measurements.
+
+PPoDS is a measure-learn-inform loop *across runs* (§VI, §VIII), which
+only works if measurements survive the session.  This module serializes
+:class:`~repro.workflow.driver.WorkflowReport` objects to JSON: numeric
+and string artifacts round-trip exactly; arrays and other rich objects
+are summarized (shape/dtype/type) rather than dropped silently, so a
+reloaded report still tells you what the run produced.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import json
+import pathlib
+import typing as _t
+
+import numpy as np
+
+from repro.workflow.driver import WorkflowReport
+from repro.workflow.step import StepReport
+
+__all__ = ["report_to_dict", "report_from_dict", "save_report", "load_report"]
+
+_FORMAT_VERSION = 1
+
+
+def _sanitize(value: object) -> object:
+    """Make one artifact value JSON-safe (summarizing when needed)."""
+    if isinstance(value, (str, int, float, bool)) or value is None:
+        return value
+    if isinstance(value, (np.integer,)):
+        return int(value)
+    if isinstance(value, (np.floating,)):
+        return float(value)
+    if isinstance(value, np.ndarray):
+        return {
+            "__array_summary__": True,
+            "shape": list(value.shape),
+            "dtype": str(value.dtype),
+            "nonzero": int(np.count_nonzero(value)),
+        }
+    if isinstance(value, (list, tuple)):
+        return [_sanitize(v) for v in value]
+    if isinstance(value, dict):
+        return {str(k): _sanitize(v) for k, v in value.items()}
+    if dataclasses.is_dataclass(value) and not isinstance(value, type):
+        return {
+            "__dataclass__": type(value).__name__,
+            **_sanitize(dataclasses.asdict(value)),
+        }
+    return {"__repr__": repr(value), "__type__": type(value).__name__}
+
+
+def report_to_dict(report: WorkflowReport) -> dict:
+    """A JSON-safe dictionary of a workflow report."""
+    return {
+        "format_version": _FORMAT_VERSION,
+        "workflow_name": report.workflow_name,
+        "total_duration_s": report.total_duration_s,
+        "succeeded": report.succeeded,
+        "steps": [
+            {
+                "name": s.name,
+                "start_time": s.start_time,
+                "end_time": s.end_time,
+                "pods": s.pods,
+                "cpus": s.cpus,
+                "gpus": s.gpus,
+                "memory_bytes": s.memory_bytes,
+                "data_processed_bytes": s.data_processed_bytes,
+                "interactive": s.interactive,
+                "succeeded": s.succeeded,
+                "error": s.error,
+                "artifacts": _sanitize(s.artifacts),
+            }
+            for s in report.steps
+        ],
+    }
+
+
+def report_from_dict(data: dict) -> WorkflowReport:
+    """Rebuild a report from :func:`report_to_dict` output."""
+    version = data.get("format_version")
+    if version != _FORMAT_VERSION:
+        raise ValueError(f"unsupported report format version: {version!r}")
+    steps = []
+    for raw in data["steps"]:
+        step = StepReport(name=raw["name"])
+        step.start_time = raw["start_time"]
+        step.end_time = raw["end_time"]
+        step.pods = raw["pods"]
+        step.cpus = raw["cpus"]
+        step.gpus = raw["gpus"]
+        step.memory_bytes = raw["memory_bytes"]
+        step.data_processed_bytes = raw["data_processed_bytes"]
+        step.interactive = raw["interactive"]
+        step.succeeded = raw["succeeded"]
+        step.error = raw["error"]
+        step.artifacts = dict(raw["artifacts"])
+        steps.append(step)
+    return WorkflowReport(
+        workflow_name=data["workflow_name"],
+        steps=steps,
+        total_duration_s=data["total_duration_s"],
+    )
+
+
+def save_report(report: WorkflowReport, path: "str | pathlib.Path") -> None:
+    """Write a report to a JSON file."""
+    path = pathlib.Path(path)
+    path.write_text(json.dumps(report_to_dict(report), indent=2, sort_keys=True))
+
+
+def load_report(path: "str | pathlib.Path") -> WorkflowReport:
+    """Read a report back from :func:`save_report` output."""
+    return report_from_dict(json.loads(pathlib.Path(path).read_text()))

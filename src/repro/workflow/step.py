@@ -1,0 +1,164 @@
+"""Workflow steps: containerized units of work with measurement.
+
+"The accelerated workflow was developed to use multiple Docker images for
+job specific tasks" (§III) and "the execution of the workflow needs to
+support the separation of steps so that each step can easily be tested
+independently of one another" (§VI) — a step here is exactly that: a
+named, independently runnable unit with its own image, namespace, and
+declared resources, measured every time it runs.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import typing as _t
+
+from repro.errors import ValidationError
+
+if _t.TYPE_CHECKING:  # pragma: no cover
+    from repro.testbed import NautilusTestbed
+
+__all__ = ["StepReport", "StepContext", "WorkflowStep"]
+
+
+@dataclasses.dataclass
+class StepReport:
+    """Everything measured about one step execution (a Table-I row)."""
+
+    name: str
+    start_time: float = 0.0
+    end_time: float = 0.0
+    pods: int = 0
+    cpus: float = 0.0
+    gpus: int = 0
+    memory_bytes: float = 0.0
+    data_processed_bytes: float = 0.0
+    interactive: bool = False  # Table I prints "NA" for interactive steps
+    succeeded: bool = False
+    error: str = ""
+    retries: int = 0  # step-level re-executions that were needed
+    artifacts: dict[str, object] = dataclasses.field(default_factory=dict)
+
+    @property
+    def duration_s(self) -> float:
+        return self.end_time - self.start_time
+
+    @property
+    def duration_minutes(self) -> float:
+        return self.duration_s / 60.0
+
+    def total_time_cell(self) -> str:
+        """The Table-I "Total Time" cell (``NA`` for interactive steps)."""
+        if self.interactive:
+            return "NA"
+        return f"{self.duration_minutes:.0f}m"
+
+
+class StepContext:
+    """What a running step can touch.
+
+    Attributes
+    ----------
+    testbed:
+        The full :class:`~repro.testbed.NautilusTestbed`.
+    params:
+        This step's parameters (merged defaults + overrides).
+    artifacts:
+        Cross-step artifact dictionary: step N's outputs (object names,
+        trained models, label volumes) addressed by earlier step name.
+    report:
+        The live :class:`StepReport` this execution fills in.
+    namespace:
+        The step's dedicated namespace (virtual cluster, §IV).
+    """
+
+    def __init__(
+        self,
+        testbed: "NautilusTestbed",
+        params: dict[str, object],
+        artifacts: dict[str, dict],
+        report: StepReport,
+        namespace: str,
+    ):
+        self.testbed = testbed
+        self.params = params
+        self.artifacts = artifacts
+        self.report = report
+        self.namespace = namespace
+
+    @property
+    def env(self):
+        return self.testbed.env
+
+    def gauge(self, name: str, value: float, labels: dict | None = None) -> None:
+        """Record a step-scoped gauge (labelled with the step name)."""
+        merged = {"step": self.report.name, **(labels or {})}
+        self.testbed.registry.set_gauge(name, value, merged)
+
+    def counter(self, name: str, amount: float, labels: dict | None = None) -> None:
+        merged = {"step": self.report.name, **(labels or {})}
+        self.testbed.registry.inc_counter(name, amount, merged)
+
+
+class WorkflowStep:
+    """Base class for workflow steps.
+
+    Subclasses override :meth:`execute` (a generator run as a simulation
+    process) and may override :attr:`default_params`.
+
+    Parameters
+    ----------
+    name:
+        Step name (unique within a workflow).
+    image:
+        Container image the step's job pods run.
+    description:
+        One line for reports and the PPoDS plan view.
+    params:
+        Overrides merged over :attr:`default_params`.
+    """
+
+    #: Subclass hook: parameter defaults.
+    default_params: dict[str, object] = {}
+
+    def __init__(
+        self,
+        name: str,
+        image: str = "chase-ci/generic:latest",
+        description: str = "",
+        params: dict[str, object] | None = None,
+        max_retries: int = 0,
+        retry_delay_s: float = 30.0,
+    ):
+        if not name:
+            raise ValidationError("step needs a non-empty name")
+        if max_retries < 0 or retry_delay_s < 0:
+            raise ValidationError("retry settings must be non-negative")
+        self.name = name
+        self.image = image
+        self.description = description
+        self.params = {**self.default_params, **(params or {})}
+        #: step-level retries: a failed execution is re-run from scratch
+        #: up to this many extra times (on top of the Job-level backoff
+        #: its pods already get).
+        self.max_retries = max_retries
+        self.retry_delay_s = retry_delay_s
+        #: names of steps whose artifacts this step consumes
+        self.depends_on: list[str] = []
+
+    def after(self, *step_names: str) -> "WorkflowStep":
+        """Declare dependencies; returns self for chaining."""
+        self.depends_on.extend(step_names)
+        return self
+
+    def execute(self, ctx: StepContext):
+        """Generator body run on the simulation kernel.
+
+        Must ``yield`` simulation events; fills ``ctx.report`` fields
+        the driver doesn't infer (data processed, artifacts).
+        """
+        raise NotImplementedError
+        yield  # pragma: no cover
+
+    def __repr__(self) -> str:
+        return f"<{type(self).__name__} {self.name!r}>"

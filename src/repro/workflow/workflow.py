@@ -1,0 +1,83 @@
+"""Workflow DAGs: ordered, validated compositions of steps."""
+
+from __future__ import annotations
+
+import typing as _t
+
+from repro.errors import ValidationError
+from repro.workflow.step import WorkflowStep
+
+__all__ = ["Workflow"]
+
+
+class Workflow:
+    """A named DAG of :class:`WorkflowStep`.
+
+    Steps execute in a topological order that respects ``depends_on``
+    edges; the CONNECT case study is a simple chain (Figure 2), but the
+    DAG is general so extension workflows can fan out.
+    """
+
+    def __init__(self, name: str, steps: _t.Sequence[WorkflowStep]):
+        if not steps:
+            raise ValidationError("workflow needs at least one step")
+        names = [s.name for s in steps]
+        if len(set(names)) != len(names):
+            raise ValidationError(f"duplicate step names: {names}")
+        self.name = name
+        self.steps: dict[str, WorkflowStep] = {s.name: s for s in steps}
+        self._order = self._toposort()
+
+    def _toposort(self) -> list[str]:
+        for step in self.steps.values():
+            for dep in step.depends_on:
+                if dep not in self.steps:
+                    raise ValidationError(
+                        f"step {step.name!r} depends on unknown step {dep!r}"
+                    )
+        order: list[str] = []
+        temp: set[str] = set()
+        done: set[str] = set()
+
+        def visit(name: str) -> None:
+            if name in done:
+                return
+            if name in temp:
+                raise ValidationError(f"dependency cycle through {name!r}")
+            temp.add(name)
+            for dep in self.steps[name].depends_on:
+                visit(dep)
+            temp.discard(name)
+            done.add(name)
+            order.append(name)
+
+        # Stable order: declaration order drives tie-breaking.
+        for name in self.steps:
+            visit(name)
+        return order
+
+    @property
+    def order(self) -> list[str]:
+        """Execution order (topological, declaration-stable)."""
+        return list(self._order)
+
+    def __len__(self) -> int:
+        return len(self.steps)
+
+    def __iter__(self) -> _t.Iterator[WorkflowStep]:
+        for name in self._order:
+            yield self.steps[name]
+
+    def describe(self) -> str:
+        """The Figure-2 view: steps with dependency arrows."""
+        lines = [f"Workflow: {self.name}"]
+        for i, name in enumerate(self._order, 1):
+            step = self.steps[name]
+            deps = f"  (after {', '.join(step.depends_on)})" if step.depends_on else ""
+            lines.append(f"  {i}. {name} [{step.image}]{deps}")
+            if step.description:
+                lines.append(f"       {step.description}")
+        return "\n".join(lines)
+
+    def __repr__(self) -> str:
+        return f"<Workflow {self.name}: {' -> '.join(self._order)}>"

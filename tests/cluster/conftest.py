@@ -1,0 +1,69 @@
+"""Shared fixtures and helpers for cluster-layer tests."""
+
+import pytest
+
+from repro.cluster import (
+    Cluster,
+    ContainerSpec,
+    PodSpec,
+    ResourceRequirements,
+    fiona8_node_spec,
+    fiona_node_spec,
+)
+from repro.sim import Environment
+
+
+@pytest.fixture
+def env():
+    return Environment()
+
+
+@pytest.fixture
+def cluster(env):
+    """A small two-site cluster: 2 CPU FIONAs + 2 FIONA8 GPU nodes."""
+    c = Cluster(env)
+    c.add_node(fiona_node_spec("dtn-ucsd-01", site="UCSD"))
+    c.add_node(fiona_node_spec("dtn-uci-01", site="UCI"))
+    c.add_node(fiona8_node_spec("fiona8-ucsd-01", site="UCSD"))
+    c.add_node(fiona8_node_spec("fiona8-uci-01", site="UCI"))
+    return c
+
+
+def sleeper_spec(duration=10.0, cpu=1, memory="1Gi", gpu=0, **pod_kwargs):
+    """A pod spec whose container sleeps for ``duration`` then returns it."""
+
+    def main(ctx):
+        yield ctx.env.timeout(duration)
+        return duration
+
+    return PodSpec(
+        containers=[
+            ContainerSpec(
+                name="main",
+                image="repro/sleeper:1",
+                main=main,
+                resources=ResourceRequirements(cpu=cpu, memory=memory, gpu=gpu),
+            )
+        ],
+        **pod_kwargs,
+    )
+
+
+def crasher_spec(after=5.0, exc=None, **pod_kwargs):
+    """A pod spec whose container raises after ``after`` seconds."""
+
+    def main(ctx):
+        yield ctx.env.timeout(after)
+        raise exc or RuntimeError("container crashed")
+
+    return PodSpec(
+        containers=[
+            ContainerSpec(
+                name="main",
+                image="repro/crasher:1",
+                main=main,
+                resources=ResourceRequirements(cpu=1, memory="1Gi"),
+            )
+        ],
+        **pod_kwargs,
+    )

@@ -1,0 +1,113 @@
+"""Tests for DaemonSets: one pod per (matching) node."""
+
+import pytest
+
+from repro.cluster import Cluster, PodPhase, fiona8_node_spec, fiona_node_spec
+from repro.cluster.controllers import DaemonSetSpec
+from repro.cluster import ContainerSpec, PodSpec, ResourceRequirements
+from repro.sim import Environment
+
+
+def exporter_template(node_name: str) -> PodSpec:
+    def main(ctx):
+        while True:  # per-node agent runs forever
+            yield ctx.env.timeout(60.0)
+
+    return PodSpec(
+        containers=[
+            ContainerSpec(
+                name="node-exporter",
+                image="prom/node-exporter:1.5",
+                main=main,
+                resources=ResourceRequirements(cpu="100m", memory="128Mi"),
+            )
+        ]
+    )
+
+
+@pytest.fixture
+def env():
+    return Environment()
+
+
+@pytest.fixture
+def cluster(env):
+    c = Cluster(env)
+    c.add_node(fiona_node_spec("cpu-a"))
+    c.add_node(fiona8_node_spec("gpu-a"))
+    c.add_node(fiona8_node_spec("gpu-b"))
+    return c
+
+
+class TestDaemonSet:
+    def test_one_pod_per_node(self, cluster, env):
+        ds = cluster.create_daemonset(
+            "node-exporter", DaemonSetSpec(template=exporter_template)
+        )
+        env.run(until=30)
+        assert ds.ready_count == 3
+        placements = {p.node_name for p in ds.pods.values()}
+        assert placements == {"cpu-a", "gpu-a", "gpu-b"}
+
+    def test_node_selector_restricts(self, cluster, env):
+        ds = cluster.create_daemonset(
+            "gpu-agent",
+            DaemonSetSpec(
+                template=exporter_template,
+                node_selector={"fiona": "fiona8"},
+            ),
+        )
+        env.run(until=30)
+        assert set(ds.pods) == {"gpu-a", "gpu-b"}
+
+    def test_new_node_gets_pod(self, cluster, env):
+        ds = cluster.create_daemonset(
+            "node-exporter", DaemonSetSpec(template=exporter_template)
+        )
+        env.run(until=30)
+        cluster.add_node(fiona_node_spec("cpu-late"))
+        env.run(until=60)
+        assert "cpu-late" in ds.pods
+        assert ds.pods["cpu-late"].phase is PodPhase.RUNNING
+
+    def test_failed_node_pod_dropped_then_restored(self, cluster, env):
+        ds = cluster.create_daemonset(
+            "node-exporter", DaemonSetSpec(template=exporter_template)
+        )
+        env.run(until=30)
+        cluster.fail_node("gpu-a")
+        env.run(until=60)
+        assert "gpu-a" not in ds.pods
+        assert ds.ready_count == 2
+        cluster.recover_node("gpu-a")
+        env.run(until=120)
+        assert ds.pods["gpu-a"].phase is PodPhase.RUNNING
+
+    def test_cordoned_node_excluded(self, cluster, env):
+        cluster.cordon("cpu-a")
+        ds = cluster.create_daemonset(
+            "node-exporter", DaemonSetSpec(template=exporter_template)
+        )
+        env.run(until=30)
+        assert "cpu-a" not in ds.pods
+
+    def test_delete_tears_down(self, cluster, env):
+        ds = cluster.create_daemonset(
+            "node-exporter", DaemonSetSpec(template=exporter_template)
+        )
+        env.run(until=30)
+        ds.delete()
+        env.run(until=60)
+        assert ds.ready_count == 0
+        assert not cluster.list_pods(phase=PodPhase.RUNNING)
+
+    def test_duplicate_rejected(self, cluster):
+        from repro.errors import ConflictError
+
+        cluster.create_daemonset(
+            "x", DaemonSetSpec(template=exporter_template)
+        )
+        with pytest.raises(ConflictError):
+            cluster.create_daemonset(
+                "x", DaemonSetSpec(template=exporter_template)
+            )

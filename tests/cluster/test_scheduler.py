@@ -1,0 +1,135 @@
+"""Unit tests for the scheduler's filter/score phases in isolation."""
+
+import pytest
+
+from repro.cluster import (
+    Node,
+    ObjectMeta,
+    Pod,
+    Scheduler,
+    SchedulingStrategy,
+    fiona8_node_spec,
+    fiona_node_spec,
+)
+from tests.cluster.conftest import sleeper_spec
+
+
+def make_pod(name="p", **kwargs):
+    return Pod(ObjectMeta(name=name), sleeper_spec(**kwargs))
+
+
+@pytest.fixture
+def scheduler():
+    return Scheduler(SchedulingStrategy.SPREAD)
+
+
+class TestFilterPhase:
+    def test_not_ready_filtered(self, scheduler):
+        node = Node(fiona_node_spec("n"))
+        node.ready = False
+        result = scheduler.filter_node(make_pod(), node)
+        assert not result.feasible
+        assert "not ready" in result.reason
+
+    def test_cordoned_filtered(self, scheduler):
+        node = Node(fiona_node_spec("n"))
+        node.unschedulable = True
+        result = scheduler.filter_node(make_pod(), node)
+        assert not result.feasible
+        assert "cordoned" in result.reason
+
+    def test_selector_mismatch_reason(self, scheduler):
+        node = Node(fiona_node_spec("n", site="UCSD"))
+        pod = make_pod(node_selector={"site": "UCI"})
+        result = scheduler.filter_node(pod, node)
+        assert not result.feasible
+        assert "site=UCI" in result.reason
+
+    def test_taint_reason(self, scheduler):
+        spec = fiona_node_spec("n")
+        spec.taints["gpu-only"] = "true"
+        result = scheduler.filter_node(make_pod(), Node(spec))
+        assert not result.feasible
+        assert "taint" in result.reason
+
+    def test_resource_reason(self, scheduler):
+        node = Node(fiona_node_spec("n"))
+        result = scheduler.filter_node(make_pod(cpu=100), node)
+        assert not result.feasible
+        assert "resources" in result.reason
+
+    def test_explain_covers_all_nodes(self, scheduler):
+        nodes = [Node(fiona_node_spec(f"n{i}")) for i in range(3)]
+        nodes[0].ready = False
+        results = scheduler.explain(make_pod(cpu=1), nodes)
+        assert len(results) == 3
+        assert [r.feasible for r in results] == [False, True, True]
+
+
+class TestScorePhase:
+    def test_spread_prefers_empty_node(self, scheduler):
+        busy = Node(fiona_node_spec("busy"))
+        busy.allocate(make_pod("holder", cpu=12))
+        empty = Node(fiona_node_spec("empty"))
+        pod = make_pod(cpu=1)
+        assert scheduler.score_node(pod, empty) > scheduler.score_node(pod, busy)
+
+    def test_binpack_prefers_loaded_node(self):
+        scheduler = Scheduler(SchedulingStrategy.BIN_PACK)
+        busy = Node(fiona_node_spec("busy"))
+        busy.allocate(make_pod("holder", cpu=12))
+        empty = Node(fiona_node_spec("empty"))
+        pod = make_pod(cpu=1)
+        assert scheduler.score_node(pod, busy) > scheduler.score_node(pod, empty)
+
+    def test_image_locality_bonus(self, scheduler):
+        warm = Node(fiona_node_spec("warm"))
+        cold = Node(fiona_node_spec("cold"))
+        pod = make_pod(cpu=1)
+        warm.image_cache.add(pod.spec.containers[0].image)
+        assert scheduler.score_node(pod, warm) > scheduler.score_node(pod, cold)
+
+    def test_cpu_pod_avoids_gpu_node(self, scheduler):
+        gpu_node = Node(fiona8_node_spec("gpu"))
+        cpu_node = Node(fiona_node_spec("cpu"))
+        pod = make_pod(cpu=1, gpu=0)
+        assert scheduler.score_node(pod, cpu_node) > scheduler.score_node(
+            pod, gpu_node
+        )
+
+    def test_select_deterministic_tie_break(self, scheduler):
+        nodes = [Node(fiona_node_spec(name)) for name in ("zeb", "alpha", "mid")]
+        pod = make_pod(cpu=1)
+        chosen = scheduler.select(pod, nodes)
+        assert chosen.spec.name == "alpha"  # lexicographic on ties
+
+    def test_select_none_when_infeasible(self, scheduler):
+        nodes = [Node(fiona_node_spec("n"))]
+        assert scheduler.select(make_pod(cpu=999), nodes) is None
+
+
+class TestPreemptionPlan:
+    def test_no_plan_without_lower_priority(self, scheduler):
+        node = Node(fiona8_node_spec("n"))
+        holder = make_pod("holder", gpu=8)
+        holder.spec.priority = 5
+        node.allocate(holder)
+        node.pods[holder.meta.uid] = holder
+        wanter = make_pod("wanter", gpu=8)
+        wanter.spec.priority = 5  # equal, not higher
+        assert scheduler.preemption_plan(wanter, [node]) is None
+
+    def test_plan_lists_minimal_victims(self, scheduler):
+        node = Node(fiona8_node_spec("n"))
+        small = []
+        for i in range(4):
+            p = make_pod(f"s{i}", gpu=2)
+            node.allocate(p)
+            small.append(p)
+        wanter = make_pod("wanter", gpu=4)
+        wanter.spec.priority = 10
+        plan = scheduler.preemption_plan(wanter, [node])
+        assert plan is not None
+        target, victims = plan
+        assert target is node
+        assert len(victims) == 2  # exactly enough to free 4 GPUs

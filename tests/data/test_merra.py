@@ -1,0 +1,147 @@
+"""Tests for the synthetic MERRA generator and IVT computation."""
+
+import numpy as np
+import pytest
+
+from repro.data import GridSpec, MerraGenerator, PAPER_GRID
+from repro.data.ivt import integrated_vapor_transport, ivt_magnitude
+from repro.errors import ShapeError
+
+
+@pytest.fixture(scope="module")
+def gen():
+    return MerraGenerator(GridSpec(nlat=45, nlon=72, nlev=8), seed=7)
+
+
+class TestGridSpec:
+    def test_paper_grid_matches_paper(self):
+        """§III: 576x361 pixels, 42 vertical levels."""
+        assert PAPER_GRID.nlon == 576
+        assert PAPER_GRID.nlat == 361
+        assert PAPER_GRID.nlev == 42
+
+    def test_level_range(self):
+        levels = PAPER_GRID.levels_hpa
+        assert levels[0] == pytest.approx(1000.0)
+        assert levels[-1] == pytest.approx(0.1)
+        assert np.all(np.diff(levels) < 0)
+
+
+class TestGenerator:
+    def test_field_shapes(self, gen):
+        f = gen.fields(0)
+        assert f["U"].shape == (8, 45, 72)
+        assert f["PS"].shape == (45, 72)
+        assert f["U"].dtype == np.float32
+
+    def test_deterministic_across_instances(self):
+        grid = GridSpec(nlat=20, nlon=30, nlev=4)
+        a = MerraGenerator(grid, seed=3).fields(5)["QV"]
+        b = MerraGenerator(grid, seed=3).fields(5)["QV"]
+        np.testing.assert_array_equal(a, b)
+
+    def test_seed_changes_fields(self):
+        grid = GridSpec(nlat=20, nlon=30, nlev=4)
+        a = MerraGenerator(grid, seed=1).fields(0)["U"]
+        b = MerraGenerator(grid, seed=2).fields(0)["U"]
+        assert not np.array_equal(a, b)
+
+    def test_humidity_nonnegative_and_decays_with_height(self, gen):
+        qv = gen.fields(0)["QV"]
+        assert np.all(qv >= 0)
+        assert qv[0].mean() > qv[-1].mean()  # surface wetter than top
+
+    def test_temporal_coherence(self, gen):
+        """Adjacent 3-hourly steps must be much more similar than distant
+        ones (what lets CONNECT track objects through time)."""
+        a, b, far = gen.ivt_field(10), gen.ivt_field(11), gen.ivt_field(60)
+        near_diff = np.abs(a - b).mean()
+        far_diff = np.abs(a - far).mean()
+        assert near_diff < far_diff
+
+    def test_granule_has_subset_and_decoy_variables(self, gen):
+        g = gen.granule(0)
+        for var in MerraGenerator.IVT_VARIABLES:
+            assert var in g
+        assert "T" in g and "PS" in g
+        sub = g.subset(list(MerraGenerator.IVT_VARIABLES))
+        assert 0.3 < sub.nbytes / g.nbytes < 0.7
+
+    def test_ground_truth_mask_binary_and_nonempty(self, gen):
+        mask = gen.ground_truth_mask(0)
+        assert mask.dtype == np.uint8
+        assert set(np.unique(mask)) <= {0, 1}
+        # At least one river alive at t=0 across a few steps.
+        total = sum(gen.ground_truth_mask(t).sum() for t in range(6))
+        assert total > 0
+
+    def test_rivers_create_high_ivt_regions(self, gen):
+        """IVT inside labelled filaments should greatly exceed background."""
+        for t in range(0, 12, 3):
+            mask = gen.ground_truth_mask(t).astype(bool)
+            if mask.sum() < 10:
+                continue
+            ivt = gen.ivt_field(t)
+            assert ivt[mask].mean() > 1.5 * ivt[~mask].mean()
+            return
+        pytest.fail("no live river found in the first 12 steps")
+
+    def test_volumes_stack_time_axis(self, gen):
+        vol = gen.ivt_volume(0, 4)
+        lab = gen.label_volume(0, 4)
+        assert vol.shape == (4, 45, 72)
+        assert lab.shape == (4, 45, 72)
+
+
+class TestIVT:
+    def test_known_constant_case(self):
+        """Constant q*u over a pressure column integrates analytically."""
+        nlev, nlat, nlon = 5, 3, 4
+        levels = np.linspace(1000.0, 200.0, nlev)  # hPa
+        u = np.full((nlev, nlat, nlon), 10.0)
+        v = np.zeros_like(u)
+        qv = np.full_like(u, 0.005)
+        ivt_u, ivt_v = integrated_vapor_transport(u, v, qv, levels)
+        expected = 0.005 * 10.0 * (1000.0 - 200.0) * 100.0 / 9.80665
+        np.testing.assert_allclose(ivt_u, expected, rtol=1e-6)
+        np.testing.assert_allclose(ivt_v, 0.0, atol=1e-12)
+
+    def test_magnitude_is_hypot(self):
+        levels = np.array([1000.0, 500.0])
+        u = np.full((2, 2, 2), 3.0)
+        v = np.full((2, 2, 2), 4.0)
+        qv = np.full((2, 2, 2), 0.01)
+        mag = ivt_magnitude(u, v, qv, levels)
+        iu, iv = integrated_vapor_transport(u, v, qv, levels)
+        np.testing.assert_allclose(mag, np.hypot(iu, iv), rtol=1e-6)
+
+    def test_level_order_does_not_matter(self):
+        levels = np.array([1000.0, 700.0, 400.0])
+        rng = np.random.default_rng(0)
+        u = rng.normal(size=(3, 4, 5))
+        v = rng.normal(size=(3, 4, 5))
+        qv = rng.uniform(0, 0.01, size=(3, 4, 5))
+        a = ivt_magnitude(u, v, qv, levels)
+        rev = slice(None, None, -1)
+        b = ivt_magnitude(u[rev], v[rev], qv[rev], levels[::-1])
+        np.testing.assert_allclose(a, b, rtol=1e-6)
+
+    def test_shape_validation(self):
+        levels = np.array([1000.0, 500.0])
+        good = np.zeros((2, 3, 4))
+        with pytest.raises(ShapeError):
+            integrated_vapor_transport(good, good, np.zeros((2, 3, 5)), levels)
+        with pytest.raises(ShapeError):
+            integrated_vapor_transport(good, good, good, np.array([1000.0]))
+        with pytest.raises(ShapeError):
+            integrated_vapor_transport(
+                np.zeros((2, 3)), np.zeros((2, 3)), np.zeros((2, 3)), levels
+            )
+
+    def test_realistic_magnitudes(self):
+        """Synthetic IVT should fall in the meteorological range
+        (background ~tens, atmospheric rivers ~hundreds kg/m/s)."""
+        gen = MerraGenerator(GridSpec(nlat=45, nlon=72, nlev=8), seed=7)
+        ivt = gen.ivt_field(0)
+        assert 5.0 < np.median(ivt) < 500.0
+        assert ivt.max() < 5000.0

@@ -1,0 +1,74 @@
+"""Unit tests for the NetCDF-like container."""
+
+import numpy as np
+import pytest
+
+from repro.data import NetCDFFile
+from repro.errors import ShapeError
+
+
+class TestVariables:
+    def test_data_variable(self):
+        f = NetCDFFile("f.nc4")
+        v = f.add_variable("T", ("lat", "lon"), data=np.zeros((4, 8), np.float32))
+        assert v.shape == (4, 8)
+        assert v.nbytes == 4 * 8 * 4
+
+    def test_lazy_variable(self):
+        f = NetCDFFile("f.nc4")
+        v = f.add_variable("T", ("lev", "lat", "lon"), shape=(42, 361, 576))
+        assert v.data is None
+        assert v.nbytes == 42 * 361 * 576 * 4
+
+    def test_dtype_respected_for_lazy(self):
+        f = NetCDFFile("f.nc4")
+        v = f.add_variable("mask", ("y",), shape=(100,), dtype="uint8")
+        assert v.nbytes == 100
+
+    def test_dims_shape_mismatch_rejected(self):
+        f = NetCDFFile("f.nc4")
+        with pytest.raises(ShapeError):
+            f.add_variable("T", ("lat",), shape=(4, 8))
+
+    def test_data_shape_conflict_rejected(self):
+        f = NetCDFFile("f.nc4")
+        with pytest.raises(ShapeError):
+            f.add_variable("T", ("lat", "lon"), data=np.zeros((2, 2)), shape=(3, 3))
+
+    def test_needs_data_or_shape(self):
+        f = NetCDFFile("f.nc4")
+        with pytest.raises(ShapeError):
+            f.add_variable("T", ("lat",))
+
+    def test_duplicate_variable_rejected(self):
+        f = NetCDFFile("f.nc4")
+        f.add_variable("T", ("x",), shape=(1,))
+        with pytest.raises(ShapeError):
+            f.add_variable("T", ("x",), shape=(1,))
+
+
+class TestSubsetting:
+    @pytest.fixture
+    def granule(self):
+        f = NetCDFFile("g.nc4")
+        for name in ("U", "V", "QV", "T", "H"):
+            f.add_variable(name, ("lev", "lat", "lon"), shape=(8, 10, 20))
+        return f
+
+    def test_subset_keeps_only_named(self, granule):
+        sub = granule.subset(["U", "V", "QV"])
+        assert sorted(sub.variables) == ["QV", "U", "V"]
+
+    def test_subset_reduces_bytes(self, granule):
+        sub = granule.subset(["U"])
+        assert sub.nbytes < granule.nbytes
+        payload = granule.variables["U"].nbytes
+        assert sub.nbytes == payload + NetCDFFile.HEADER_BYTES
+
+    def test_subset_unknown_variable_raises(self, granule):
+        with pytest.raises(KeyError):
+            granule.subset(["GHOST"])
+
+    def test_contains(self, granule):
+        assert "U" in granule
+        assert "GHOST" not in granule

@@ -1,0 +1,168 @@
+"""Unit tests for the max-min fair fluid-flow engine."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.errors import NetworkError
+from repro.netsim.flows import CapacityResource, Flow, FlowSimulator, max_min_rates
+from repro.sim import Environment
+
+
+@pytest.fixture
+def env():
+    return Environment()
+
+
+@pytest.fixture
+def sim(env):
+    return FlowSimulator(env)
+
+
+def run_transfer(env, sim, resources, nbytes, **kw):
+    """Run a single transfer to completion; return finish time."""
+    done = sim.transfer(resources, nbytes, **kw)
+    env.run(until=done)
+    return env.now
+
+
+class TestMaxMinRates:
+    def _flow(self, resources, nbytes=1e9):
+        return Flow("f", resources, nbytes, event=None, start_time=0.0)
+
+    def test_single_flow_gets_full_capacity(self):
+        link = CapacityResource("l", 100.0)
+        f = self._flow([link])
+        assert max_min_rates([f])[f] == pytest.approx(100.0)
+
+    def test_equal_split_on_shared_link(self):
+        link = CapacityResource("l", 90.0)
+        flows = [self._flow([link]) for _ in range(3)]
+        rates = max_min_rates(flows)
+        assert all(rates[f] == pytest.approx(30.0) for f in flows)
+
+    def test_bottleneck_is_tightest_hop(self):
+        wide = CapacityResource("wide", 1000.0)
+        narrow = CapacityResource("narrow", 10.0)
+        f = self._flow([wide, narrow])
+        assert max_min_rates([f])[f] == pytest.approx(10.0)
+
+    def test_unbottlenecked_flow_takes_leftover(self):
+        """Classic max-min example: two flows share link A (cap 10); one of
+        them also crosses link B (cap 4).  Fair rates: 4 and 6."""
+        a = CapacityResource("a", 10.0)
+        b = CapacityResource("b", 4.0)
+        constrained = self._flow([a, b])
+        free = self._flow([a])
+        rates = max_min_rates([constrained, free])
+        assert rates[constrained] == pytest.approx(4.0)
+        assert rates[free] == pytest.approx(6.0)
+
+    def test_resourceless_flow_is_unconstrained(self):
+        f = self._flow([])
+        assert max_min_rates([f])[f] == float("inf")
+
+    @settings(max_examples=50, deadline=None)
+    @given(
+        caps=st.lists(st.floats(min_value=1.0, max_value=1e4), min_size=1, max_size=4),
+        n_flows=st.integers(min_value=1, max_value=6),
+    )
+    def test_property_no_resource_oversubscribed(self, caps, n_flows):
+        resources = [CapacityResource(f"r{i}", c) for i, c in enumerate(caps)]
+        flows = [
+            self._flow(resources[i % len(resources) :]) for i in range(n_flows)
+        ]
+        rates = max_min_rates(flows)
+        for res in resources:
+            total = sum(rates[f] for f in flows if res in f.resources)
+            assert total <= res.capacity * (1 + 1e-9)
+
+    @settings(max_examples=50, deadline=None)
+    @given(
+        cap=st.floats(min_value=1.0, max_value=1e6),
+        n=st.integers(min_value=1, max_value=10),
+    )
+    def test_property_single_link_work_conserving(self, cap, n):
+        link = CapacityResource("l", cap)
+        flows = [self._flow([link]) for _ in range(n)]
+        rates = max_min_rates(flows)
+        assert sum(rates.values()) == pytest.approx(cap)
+
+
+class TestFlowSimulator:
+    def test_single_transfer_duration(self, env, sim):
+        link = CapacityResource("l", 100.0)  # 100 B/s
+        t = run_transfer(env, sim, [link], 1000.0)
+        assert t == pytest.approx(10.0)
+
+    def test_zero_bytes_completes_after_latency(self, env, sim):
+        t = run_transfer(env, sim, [], 0.0, latency_s=0.5)
+        assert t == pytest.approx(0.5)
+
+    def test_latency_added_to_completion(self, env, sim):
+        link = CapacityResource("l", 100.0)
+        t = run_transfer(env, sim, [link], 1000.0, latency_s=2.0)
+        assert t == pytest.approx(12.0)
+
+    def test_negative_bytes_rejected(self, sim):
+        with pytest.raises(NetworkError):
+            sim.transfer([], -1)
+
+    def test_two_equal_flows_halve_throughput(self, env, sim):
+        link = CapacityResource("l", 100.0)
+        d1 = sim.transfer([link], 1000.0)
+        d2 = sim.transfer([link], 1000.0)
+        env.run(until=env.all_of([d1, d2]))
+        # Each gets 50 B/s: both finish at t=20.
+        assert env.now == pytest.approx(20.0)
+
+    def test_rate_reconverges_when_flow_finishes(self, env, sim):
+        """Short flow leaves; long flow speeds up: 500B + 1500B on a
+        100 B/s link -> short done at 10s, long done at 20s."""
+        link = CapacityResource("l", 100.0)
+        short = sim.transfer([link], 500.0)
+        long = sim.transfer([link], 1500.0)
+        env.run(until=short)
+        assert env.now == pytest.approx(10.0)
+        env.run(until=long)
+        assert env.now == pytest.approx(20.0)
+
+    def test_late_joiner_shares_fairly(self, env, sim):
+        """Flow A alone for 5s (500B done), then B joins and they split."""
+        link = CapacityResource("l", 100.0)
+        a = sim.transfer([link], 1000.0, name="a")
+
+        def joiner(env):
+            yield env.timeout(5.0)
+            b = sim.transfer([link], 250.0, name="b")
+            yield b
+            return env.now
+
+        p = env.process(joiner(env))
+        b_done = env.run(until=p)
+        assert b_done == pytest.approx(10.0)  # 250B at 50 B/s after t=5
+        env.run(until=a)
+        # A: 500B by t=5, 250B more by t=10 (shared), then full rate.
+        assert env.now == pytest.approx(12.5)
+
+    def test_allocated_rate_visible_to_monitoring(self, env, sim):
+        link = CapacityResource("l", 100.0)
+        sim.transfer([link], 10_000.0)
+        env.run(until=1.0)
+        assert sim.sample_rates([link])["l"] == pytest.approx(100.0)
+        assert link.utilization == pytest.approx(1.0)
+
+    def test_counters(self, env, sim):
+        link = CapacityResource("l", 100.0)
+        sim.transfer([link], 100.0)
+        sim.transfer([link], 100.0)
+        env.run(until=100)
+        assert sim.completed_count == 2
+        assert sim.bytes_moved == pytest.approx(200.0)
+
+    def test_many_parallel_flows_complete(self, env, sim):
+        link = CapacityResource("l", 1000.0)
+        events = [sim.transfer([link], 100.0 * (i + 1)) for i in range(20)]
+        env.run(until=env.all_of(events))
+        assert sim.completed_count == 20
+        assert sim.active_flows == 0

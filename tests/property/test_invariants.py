@@ -1,0 +1,205 @@
+"""Property-based invariants across substrates (hypothesis).
+
+These pin the load-bearing guarantees the workflow layer builds on:
+nodes are never over-allocated, jobs complete exactly, flows conserve
+bytes and never oversubscribe capacity, and the reliable queue delivers
+exactly-once under crashes.
+"""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.cluster import Cluster, JobSpec, PodPhase, fiona8_node_spec
+from repro.errors import QueueEmptyError
+from repro.netsim.flows import CapacityResource, FlowSimulator
+from repro.sim import Environment
+from repro.transfer import RedisQueue
+from tests.cluster.conftest import sleeper_spec
+
+
+class TestClusterInvariants:
+    @settings(max_examples=20, deadline=None)
+    @given(
+        data=st.lists(
+            st.tuples(
+                st.integers(min_value=1, max_value=8),  # cpu
+                st.integers(min_value=0, max_value=4),  # gpu
+                st.floats(min_value=1.0, max_value=100.0),  # duration
+            ),
+            min_size=1,
+            max_size=25,
+        )
+    )
+    def test_nodes_never_overallocated(self, data):
+        env = Environment()
+        cluster = Cluster(env)
+        for i in range(3):
+            cluster.add_node(fiona8_node_spec(f"n{i}"))
+
+        violations = []
+
+        def check(_pod, _old, _new):
+            for node in cluster.nodes.values():
+                if (
+                    node.allocated.cpu > node.capacity.cpu + 1e-9
+                    or node.allocated.gpu > node.capacity.gpu
+                    or node.allocated.memory > node.capacity.memory
+                ):
+                    violations.append(repr(node))
+
+        cluster.phase_hooks.append(check)
+        for i, (cpu, gpu, duration) in enumerate(data):
+            cluster.create_pod(
+                f"p{i}", sleeper_spec(duration=duration, cpu=cpu, gpu=gpu)
+            )
+        env.run()
+        assert violations == []
+        # Every feasible pod completed; all resources returned.
+        for node in cluster.nodes.values():
+            assert node.allocated.cpu == pytest.approx(0.0)
+            assert node.allocated.gpu == 0
+        for pod in cluster.list_pods():
+            assert pod.phase is PodPhase.SUCCEEDED
+
+    @settings(max_examples=15, deadline=None)
+    @given(
+        completions=st.integers(min_value=1, max_value=12),
+        parallelism=st.integers(min_value=1, max_value=12),
+    )
+    def test_job_exact_completions_and_parallelism_cap(
+        self, completions, parallelism
+    ):
+        env = Environment()
+        cluster = Cluster(env)
+        for i in range(4):
+            cluster.add_node(fiona8_node_spec(f"n{i}"))
+        peak = [0]
+
+        def track(_pod, _old, _new):
+            running = len(cluster.list_pods(phase=PodPhase.RUNNING))
+            peak[0] = max(peak[0], running)
+
+        cluster.phase_hooks.append(track)
+        job = cluster.create_job(
+            "j",
+            JobSpec(
+                template=lambda i: sleeper_spec(duration=5 + i),
+                completions=completions,
+                parallelism=parallelism,
+            ),
+        )
+        env.run()
+        assert job.is_complete
+        assert job.succeeded_indices == set(range(completions))
+        assert peak[0] <= parallelism
+
+
+class TestFlowInvariants:
+    @settings(max_examples=20, deadline=None)
+    @given(
+        caps=st.lists(
+            st.floats(min_value=10.0, max_value=1e4), min_size=1, max_size=3
+        ),
+        sizes=st.lists(
+            st.floats(min_value=1.0, max_value=1e5), min_size=1, max_size=10
+        ),
+        seed=st.integers(0, 1000),
+    )
+    def test_all_flows_complete_and_bytes_conserved(self, caps, sizes, seed):
+        env = Environment()
+        sim = FlowSimulator(env)
+        resources = [CapacityResource(f"r{i}", c) for i, c in enumerate(caps)]
+        rng = np.random.default_rng(seed)
+        events = []
+        for size in sizes:
+            k = int(rng.integers(1, len(resources) + 1))
+            picks = list(rng.choice(len(resources), size=k, replace=False))
+            events.append(
+                sim.transfer([resources[i] for i in picks], size)
+            )
+        env.run(until=env.all_of(events))
+        assert sim.completed_count == len(sizes)
+        assert sim.bytes_moved == pytest.approx(sum(sizes))
+        assert sim.active_flows == 0
+
+    @settings(max_examples=15, deadline=None)
+    @given(
+        n_flows=st.integers(min_value=2, max_value=12),
+        cap=st.floats(min_value=100.0, max_value=1e4),
+    )
+    def test_shared_link_never_oversubscribed_mid_run(self, n_flows, cap):
+        env = Environment()
+        sim = FlowSimulator(env)
+        link = CapacityResource("l", cap)
+        for i in range(n_flows):
+            sim.transfer([link], cap * (i + 1))  # staggered sizes
+
+        samples = []
+
+        def sampler(env):
+            while True:
+                yield env.timeout(0.5)
+                samples.append(sim.sample_rates([link])["l"])
+
+        env.process(sampler(env))
+        env.run(until=n_flows * (n_flows + 1) / 2 + 2)
+        assert samples
+        assert all(rate <= cap * (1 + 1e-9) for rate in samples)
+        # Work conservation while flows were active.
+        active_samples = [r for r in samples if r > 0]
+        assert all(r == pytest.approx(cap) for r in active_samples)
+
+
+class TestQueueInvariants:
+    @settings(max_examples=20, deadline=None)
+    @given(
+        n_messages=st.integers(min_value=1, max_value=40),
+        crash_pattern=st.lists(st.booleans(), min_size=1, max_size=10),
+        seed=st.integers(0, 100),
+    )
+    def test_exactly_once_under_crashes(self, n_messages, crash_pattern, seed):
+        """Workers randomly crash mid-message; every message is acked
+        exactly once in the end."""
+        env = Environment()
+        queue = RedisQueue(env)
+        queue.push_all(range(n_messages))
+        processed: list[int] = []
+        rng = np.random.default_rng(seed)
+
+        def worker(env, name, crashy):
+            while True:
+                try:
+                    msg = queue.try_pop(name)
+                except QueueEmptyError:
+                    return
+                yield env.timeout(1.0)
+                if crashy and rng.random() < 0.3:
+                    # Crash: lose everything held; the Job controller's
+                    # replacement pod recovers it.
+                    queue.recover(name)
+                    return
+                processed.append(msg.body)
+                queue.ack(name, msg)
+
+        generation = [0]
+
+        def supervisor(env):
+            """Respawn crashed workers until the queue drains."""
+            while not queue.drained:
+                procs = [
+                    env.process(
+                        worker(env, f"w{generation[0]}-{k}", crash_pattern[k % len(crash_pattern)]),
+                        name=f"w{k}",
+                    )
+                    for k in range(3)
+                ]
+                generation[0] += 1
+                yield env.all_of(procs)
+
+        env.process(supervisor(env))
+        env.run()
+        assert sorted(processed) == list(range(n_messages))
+        assert queue.acked_total == n_messages
+        assert queue.drained

@@ -1,0 +1,177 @@
+"""Unit tests for the event primitives of the discrete-event kernel."""
+
+import pytest
+
+from repro.errors import SimulationError
+from repro.sim import AllOf, AnyOf, Environment
+
+
+@pytest.fixture
+def env():
+    return Environment()
+
+
+class TestEvent:
+    def test_pending_initially(self, env):
+        ev = env.event()
+        assert not ev.triggered
+        assert not ev.processed
+
+    def test_value_before_trigger_raises(self, env):
+        ev = env.event()
+        with pytest.raises(SimulationError):
+            _ = ev.value
+        with pytest.raises(SimulationError):
+            _ = ev.ok
+
+    def test_succeed_carries_value(self, env):
+        ev = env.event()
+        ev.succeed(123)
+        assert ev.triggered
+        assert ev.ok
+        assert ev.value == 123
+
+    def test_double_trigger_raises(self, env):
+        ev = env.event()
+        ev.succeed()
+        with pytest.raises(SimulationError):
+            ev.succeed()
+        with pytest.raises(SimulationError):
+            ev.fail(RuntimeError("x"))
+
+    def test_fail_requires_exception(self, env):
+        ev = env.event()
+        with pytest.raises(TypeError):
+            ev.fail("not an exception")
+
+    def test_callbacks_run_on_step(self, env):
+        ev = env.event()
+        seen = []
+        ev.callbacks.append(lambda e: seen.append(e.value))
+        ev.succeed("v")
+        assert seen == []  # not yet processed
+        env.run()
+        assert seen == ["v"]
+        assert ev.processed
+
+    def test_failed_event_without_defuse_crashes_run(self, env):
+        ev = env.event()
+        ev.fail(RuntimeError("boom"))
+        with pytest.raises(RuntimeError, match="boom"):
+            env.run()
+
+    def test_defused_failure_does_not_crash(self, env):
+        ev = env.event()
+        ev.fail(RuntimeError("boom"))
+        ev.defuse()
+        env.run()  # no raise
+        assert not ev.ok
+
+
+class TestTimeout:
+    def test_fires_at_delay(self, env):
+        t = env.timeout(10, value="done")
+        env.run()
+        assert env.now == 10
+        assert t.value == "done"
+
+    def test_negative_delay_rejected(self, env):
+        with pytest.raises(SimulationError):
+            env.timeout(-1)
+
+    def test_zero_delay_fires_at_now(self, env):
+        env.timeout(0)
+        env.run()
+        assert env.now == 0
+
+    def test_fifo_ordering_at_same_time(self, env):
+        order = []
+        for i in range(5):
+            t = env.timeout(3)
+            t.callbacks.append(lambda e, i=i: order.append(i))
+        env.run()
+        assert order == [0, 1, 2, 3, 4]
+
+
+class TestConditions:
+    def test_all_of_collects_all_values(self, env):
+        t1, t2 = env.timeout(1, "a"), env.timeout(2, "b")
+        cond = AllOf(env, [t1, t2])
+        env.run(cond)
+        assert env.now == 2
+        assert set(cond.value.values()) == {"a", "b"}
+
+    def test_any_of_fires_on_first(self, env):
+        t1, t2 = env.timeout(5, "slow"), env.timeout(1, "fast")
+        cond = AnyOf(env, [t1, t2])
+        value = env.run(cond)
+        assert env.now == 1
+        assert list(value.values()) == ["fast"]
+
+    def test_empty_all_of_trivially_succeeds(self, env):
+        cond = AllOf(env, [])
+        env.run()
+        assert cond.ok
+        assert cond.value == {}
+
+    def test_all_of_fails_if_member_fails(self, env):
+        good = env.timeout(5)
+        bad = env.event()
+        cond = AllOf(env, [good, bad])
+        cond.defuse()
+        bad.fail(ValueError("nope"))
+        env.run()
+        assert not cond.ok
+        assert isinstance(cond.value, ValueError)
+
+    def test_cross_environment_rejected(self, env):
+        other = Environment()
+        with pytest.raises(SimulationError):
+            AllOf(env, [other.timeout(1)])
+
+    def test_and_operator(self, env):
+        cond = env.timeout(3) & env.timeout(5)
+        env.run(until=cond)
+        assert env.now == 5
+
+    def test_or_operator(self, env):
+        cond = env.timeout(3) | env.timeout(5)
+        env.run(until=cond)
+        assert env.now == 3
+
+    def test_chained_operators(self, env):
+        cond = (env.timeout(9) & env.timeout(2)) | env.timeout(4)
+        env.run(until=cond)
+        assert env.now == 4
+
+
+class TestEnvironmentRun:
+    def test_run_until_time_stops_clock_there(self, env):
+        env.timeout(100)
+        env.run(until=40)
+        assert env.now == 40
+
+    def test_run_until_past_raises(self, env):
+        env.timeout(5)
+        env.run()
+        with pytest.raises(SimulationError):
+            env.run(until=1)
+
+    def test_run_until_event_returns_value(self, env):
+        t = env.timeout(3, value=99)
+        assert env.run(until=t) == 99
+
+    def test_run_until_unfired_event_raises(self, env):
+        ev = env.event()  # never triggered
+        env.timeout(1)
+        with pytest.raises(SimulationError, match="ran out of events"):
+            env.run(until=ev)
+
+    def test_step_with_empty_heap_raises(self, env):
+        with pytest.raises(SimulationError):
+            env.step()
+
+    def test_peek(self, env):
+        assert env.peek() == float("inf")
+        env.timeout(7)
+        assert env.peek() == 7

@@ -1,0 +1,207 @@
+"""Edge-case and stress tests for the simulation kernel."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.errors import ProcessKilled, SimulationError
+from repro.sim import Environment, Resource, Store
+
+
+@pytest.fixture
+def env():
+    return Environment()
+
+
+class TestInterruptEdgeCases:
+    def test_interrupt_process_waiting_on_condition(self, env):
+        """Interrupting a process parked on all_of must not crash the run
+        when the stragglers later fire."""
+
+        def victim(env):
+            try:
+                yield env.all_of([env.timeout(50), env.timeout(60)])
+            except ProcessKilled:
+                return "killed"
+            return "finished"
+
+        def killer(env, v):
+            yield env.timeout(5)
+            v.interrupt()
+
+        v = env.process(victim(env))
+        env.process(killer(env, v))
+        assert env.run(until=v) == "killed"
+        env.run()  # the abandoned timeouts fire harmlessly
+
+    def test_interrupt_process_holding_resource_slot(self, env):
+        res = Resource(env, capacity=1)
+        order = []
+
+        def holder(env):
+            with res.request() as req:
+                yield req
+                try:
+                    yield env.timeout(100)
+                except ProcessKilled:
+                    order.append("released")
+            # context manager releases on exit
+
+        def waiter(env):
+            with res.request() as req:
+                yield req
+                order.append("acquired")
+
+        h = env.process(holder(env))
+        env.process(waiter(env))
+
+        def killer(env):
+            yield env.timeout(10)
+            h.interrupt()
+
+        env.process(killer(env))
+        env.run()
+        assert order == ["released", "acquired"]
+
+    def test_double_interrupt_same_time(self, env):
+        hits = []
+
+        def victim(env):
+            for _ in range(2):
+                try:
+                    yield env.timeout(100)
+                except ProcessKilled as exc:
+                    hits.append(exc.cause)
+            return hits
+
+        def killer(env, v):
+            yield env.timeout(1)
+            v.interrupt(cause="first")
+            v.interrupt(cause="second")
+
+        v = env.process(victim(env))
+        env.process(killer(env, v))
+        assert env.run(until=v) == ["first", "second"]
+
+
+class TestConditionEdgeCases:
+    def test_any_of_with_one_already_processed(self, env):
+        t = env.timeout(1, value="early")
+        env.run(until=5)
+
+        def waiter(env):
+            result = yield env.any_of([t, env.timeout(100)])
+            return list(result.values())
+
+        p = env.process(waiter(env))
+        assert env.run(until=p) == ["early"]
+
+    def test_nested_conditions(self, env):
+        def proc(env):
+            inner = env.all_of([env.timeout(3), env.timeout(4)])
+            outer = yield env.any_of([inner, env.timeout(10)])
+            return env.now
+
+        p = env.process(proc(env))
+        assert env.run(until=p) == 4
+
+    def test_all_of_many_events(self, env):
+        cond = env.all_of([env.timeout(i) for i in range(100)])
+        env.run(until=cond)
+        assert env.now == 99
+
+
+class TestStoreEdgeCases:
+    def test_interrupted_getter_does_not_steal_items(self, env):
+        store = Store(env)
+        got = []
+
+        def getter(env, name):
+            try:
+                item = yield store.get()
+                got.append((name, item))
+            except ProcessKilled:
+                pass
+
+        g1 = env.process(getter(env, "g1"))
+        env.process(getter(env, "g2"))
+
+        def driver(env):
+            yield env.timeout(1)
+            g1.interrupt()
+            yield env.timeout(1)
+            yield store.put("only")
+
+        env.process(driver(env))
+        env.run()
+        assert got == [("g2", "only")]
+
+    def test_many_producers_consumers(self, env):
+        store = Store(env, capacity=5)
+        consumed = []
+
+        def producer(env, base):
+            for i in range(10):
+                yield store.put(base + i)
+                yield env.timeout(0.1)
+
+        def consumer(env):
+            for _ in range(20):
+                item = yield store.get()
+                consumed.append(item)
+                yield env.timeout(0.15)
+
+        env.process(producer(env, 0))
+        env.process(producer(env, 100))
+        env.process(consumer(env))
+        env.run()
+        assert len(consumed) == 20
+        assert set(consumed) == set(range(10)) | set(range(100, 110))
+
+
+class TestDeterminismStress:
+    @settings(max_examples=10, deadline=None)
+    @given(seed=st.integers(0, 1000))
+    def test_complex_program_is_reproducible(self, seed):
+        import numpy as np
+
+        def run():
+            env = Environment()
+            res = Resource(env, capacity=3)
+            store = Store(env)
+            trace = []
+            rng = np.random.default_rng(seed)
+            delays = rng.uniform(0.1, 5.0, size=20)
+
+            def worker(env, k):
+                with res.request() as req:
+                    yield req
+                    yield env.timeout(float(delays[k]))
+                    yield store.put(k)
+                    trace.append((round(env.now, 6), k))
+
+            for k in range(20):
+                env.process(worker(env, k))
+            env.run()
+            return trace
+
+        assert run() == run()
+
+    def test_time_never_goes_backwards(self, env):
+        stamps = []
+
+        def ticker(env, period):
+            for _ in range(50):
+                yield env.timeout(period)
+                stamps.append(env.now)
+
+        for period in (0.7, 1.3, 2.9):
+            env.process(ticker(env, period))
+        env.run()
+        assert stamps == sorted(stamps)
+
+    def test_run_until_event_from_other_env_rejected(self, env):
+        other = Environment()
+        t = other.timeout(1)
+        with pytest.raises(SimulationError):
+            env.run(until=t)

@@ -1,0 +1,119 @@
+"""Unit + property tests for CRUSH-style placement."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.errors import InsufficientReplicasError
+from repro.storage.crush import CrushMap, hrw_score, place
+from repro.storage.osd import OSD
+
+
+def make_osds(n, hosts=None, capacity=1e12):
+    hosts = hosts or [f"host{i}" for i in range(n)]
+    return [OSD(i, hosts[i % len(hosts)], capacity) for i in range(n)]
+
+
+class TestHrwScore:
+    def test_deterministic(self):
+        assert hrw_score(1, 2) == hrw_score(1, 2)
+
+    def test_in_unit_interval(self):
+        for pg in range(50):
+            for osd in range(10):
+                assert 0 < hrw_score(pg, osd) <= 1
+
+    def test_varies_with_inputs(self):
+        scores = {hrw_score(pg, osd) for pg in range(10) for osd in range(10)}
+        assert len(scores) == 100
+
+
+class TestPlace:
+    def test_returns_requested_replicas(self):
+        osds = make_osds(10)
+        assert len(place(7, osds, 3)) == 3
+
+    def test_deterministic(self):
+        osds = make_osds(10)
+        a = [o.id for o in place(42, osds, 3)]
+        b = [o.id for o in place(42, osds, 3)]
+        assert a == b
+
+    def test_host_separation(self):
+        osds = make_osds(12, hosts=["h1", "h2", "h3", "h4"])
+        for pg in range(40):
+            chosen = place(pg, osds, 3)
+            assert len({o.host for o in chosen}) == 3
+
+    def test_falls_back_when_hosts_scarce(self):
+        # 4 OSDs on 2 hosts, need 3 replicas: must double up on one host.
+        osds = make_osds(4, hosts=["h1", "h2"])
+        chosen = place(5, osds, 3)
+        assert len(chosen) == 3
+        assert len({o.host for o in chosen}) == 2
+
+    def test_down_osds_excluded(self):
+        osds = make_osds(5)
+        osds[0].up = False
+        for pg in range(30):
+            assert osds[0] not in place(pg, osds, 3)
+
+    def test_insufficient_osds_raises(self):
+        with pytest.raises(InsufficientReplicasError):
+            place(1, make_osds(2), 3)
+
+    def test_minimal_reshuffle_on_osd_loss(self):
+        """Removing one OSD only moves PGs that used it (HRW property)."""
+        osds = make_osds(10)
+        before = {pg: [o.id for o in place(pg, osds, 3)] for pg in range(200)}
+        osds[4].up = False
+        after = {pg: [o.id for o in place(pg, osds, 3)] for pg in range(200)}
+        for pg in range(200):
+            if 4 not in before[pg]:
+                assert before[pg] == after[pg]
+
+    def test_weight_biases_placement(self):
+        """An OSD with 4x weight should receive noticeably more PGs."""
+        osds = [OSD(i, f"h{i}", 1e12) for i in range(9)]
+        osds.append(OSD(9, "h9", 4e12))
+        primary_counts = {i: 0 for i in range(10)}
+        for pg in range(3000):
+            primary_counts[place(pg, osds, 1)[0].id] += 1
+        mean_small = sum(primary_counts[i] for i in range(9)) / 9
+        assert primary_counts[9] > 2.0 * mean_small
+
+    @settings(max_examples=30, deadline=None)
+    @given(pg=st.integers(min_value=0, max_value=10_000))
+    def test_property_no_duplicate_osds(self, pg):
+        osds = make_osds(8)
+        chosen = place(pg, osds, 4)
+        assert len({o.id for o in chosen}) == 4
+
+
+class TestCrushMap:
+    def test_pg_of_stable_and_in_range(self):
+        cm = CrushMap(pg_num=64)
+        assert cm.pg_of("pool", "key") == cm.pg_of("pool", "key")
+        for i in range(100):
+            assert 0 <= cm.pg_of("p", f"k{i}") < 64
+
+    def test_pool_affects_pg(self):
+        cm = CrushMap(pg_num=1024)
+        pgs = {cm.pg_of(f"pool{i}", "same-key") for i in range(20)}
+        assert len(pgs) > 1
+
+    def test_bad_pg_num(self):
+        with pytest.raises(ValueError):
+            CrushMap(pg_num=0)
+
+    def test_osds_for_uses_replication(self):
+        cm = CrushMap()
+        osds = make_osds(6)
+        assert len(cm.osds_for("p", "k", osds, 3)) == 3
+
+    def test_pg_distribution_roughly_uniform(self):
+        cm = CrushMap(pg_num=16)
+        counts = [0] * 16
+        for i in range(3200):
+            counts[cm.pg_of("p", f"object-{i}")] += 1
+        assert min(counts) > 100  # expectation 200 per pg

@@ -1,0 +1,209 @@
+"""Tests for the S3 gateway and RBD block volumes."""
+
+import pytest
+
+from repro.errors import ConflictError, ObjectNotFoundError, StorageError
+from repro.sim import Environment
+from repro.storage import CephCluster
+from repro.storage.rbd import EXTENT_BYTES, RBDPool
+from repro.storage.s3 import MIN_PART_BYTES, S3Gateway
+
+GB = 1e9
+
+
+@pytest.fixture
+def ceph():
+    env = Environment()
+    c = CephCluster(env)
+    for i in range(6):
+        c.add_osd(host=f"h{i % 3}", capacity=10e12)
+    return c
+
+
+@pytest.fixture
+def s3(ceph):
+    gw = S3Gateway(ceph)
+    gw.create_bucket("merra")
+    return gw
+
+
+class TestS3Buckets:
+    def test_create_and_list(self, s3):
+        s3.create_bucket("results")
+        assert s3.list_buckets() == ["merra", "results"]
+        assert s3.bucket_exists("merra")
+        assert not s3.bucket_exists("ghost")
+
+    def test_duplicate_bucket_rejected(self, s3):
+        with pytest.raises(ConflictError):
+            s3.create_bucket("merra")
+
+    def test_invalid_bucket_name(self, s3):
+        with pytest.raises(StorageError):
+            s3.create_bucket("a/b")
+        with pytest.raises(StorageError):
+            s3.create_bucket("")
+
+    def test_missing_bucket_raises(self, s3):
+        with pytest.raises(ObjectNotFoundError):
+            s3.put_object("ghost", "k", 1)
+
+
+class TestS3Objects:
+    def test_put_get_head_roundtrip(self, s3):
+        s3.put_object("merra", "a/file.nc4", 2 * GB, payload={"x": 1})
+        ref = s3.get_object("merra", "a/file.nc4")
+        assert ref.payload == {"x": 1}
+        head = s3.head_object("merra", "a/file.nc4")
+        assert head.size == 2 * GB
+        assert head.etag
+
+    def test_list_with_prefix(self, s3):
+        for key in ("a/1", "a/2", "b/1"):
+            s3.put_object("merra", key, 1)
+        listed = s3.list_objects("merra", prefix="a/")
+        assert [o.key for o in listed] == ["a/1", "a/2"]
+
+    def test_delete(self, s3):
+        s3.put_object("merra", "k", 1)
+        s3.delete_object("merra", "k")
+        with pytest.raises(ObjectNotFoundError):
+            s3.get_object("merra", "k")
+
+    def test_objects_replicated_in_ceph(self, s3, ceph):
+        s3.put_object("merra", "k", GB)
+        assert len(ceph.holders("s3-merra", "k")) == 3
+
+
+class TestMultipart:
+    def test_multipart_assembles_total_size(self, s3):
+        upload = s3.create_multipart_upload("merra", "big.h5")
+        upload.upload_part(1, 6 * MIN_PART_BYTES)
+        upload.upload_part(2, 6 * MIN_PART_BYTES)
+        upload.upload_part(3, 1024)  # small last part is fine
+        obj = upload.complete()
+        assert obj.size == 12 * MIN_PART_BYTES + 1024
+        assert s3.head_object("merra", "big.h5").size == obj.size
+
+    def test_out_of_order_parts(self, s3):
+        upload = s3.create_multipart_upload("merra", "k")
+        upload.upload_part(2, 100)
+        upload.upload_part(1, 6 * MIN_PART_BYTES)
+        obj = upload.complete()
+        assert obj.size == 6 * MIN_PART_BYTES + 100
+
+    def test_small_middle_part_rejected(self, s3):
+        upload = s3.create_multipart_upload("merra", "k")
+        upload.upload_part(1, 1024)  # too small and not last
+        upload.upload_part(2, 6 * MIN_PART_BYTES)
+        with pytest.raises(StorageError):
+            upload.complete()
+
+    def test_abort_discards(self, s3):
+        upload = s3.create_multipart_upload("merra", "k")
+        upload.upload_part(1, 6 * MIN_PART_BYTES)
+        upload.abort()
+        with pytest.raises(StorageError):
+            upload.complete()
+        assert s3.list_multipart_uploads() == []
+        with pytest.raises(ObjectNotFoundError):
+            s3.get_object("merra", "k")
+
+    def test_empty_completion_rejected(self, s3):
+        upload = s3.create_multipart_upload("merra", "k")
+        with pytest.raises(StorageError):
+            upload.complete()
+
+    def test_bad_part_numbers(self, s3):
+        upload = s3.create_multipart_upload("merra", "k")
+        with pytest.raises(StorageError):
+            upload.upload_part(0, 100)
+        with pytest.raises(StorageError):
+            upload.upload_part(10_001, 100)
+
+    def test_closed_upload_rejects_parts(self, s3):
+        upload = s3.create_multipart_upload("merra", "k")
+        upload.upload_part(1, 6 * MIN_PART_BYTES)
+        upload.complete()
+        with pytest.raises(StorageError):
+            upload.upload_part(2, 100)
+
+
+class TestRBD:
+    @pytest.fixture
+    def rbd(self, ceph):
+        return RBDPool(ceph)
+
+    def test_thin_provisioning(self, rbd):
+        image = rbd.create_image("vol1", 100 * EXTENT_BYTES)
+        assert image.provisioned_extents == 0
+        assert rbd.provisioned_bytes() == 0
+
+    def test_write_backs_extents(self, rbd, ceph):
+        rbd.create_image("vol1", 100 * EXTENT_BYTES)
+        rbd.claim("vol1", "pod-1")
+        newly = rbd.write("vol1", 0, 2.5 * EXTENT_BYTES)
+        assert newly == 3  # extents 0,1,2
+        assert rbd.provisioned_bytes() == 3 * EXTENT_BYTES
+        # Backing objects are replicated like any Ceph object.
+        assert len(ceph.holders("rbd", "vol1/extent-00000000")) == 3
+
+    def test_rewrite_does_not_reprovision(self, rbd):
+        rbd.create_image("vol1", 10 * EXTENT_BYTES)
+        rbd.claim("vol1", "pod-1")
+        assert rbd.write("vol1", 0, EXTENT_BYTES) == 1
+        assert rbd.write("vol1", 0, EXTENT_BYTES) == 0
+
+    def test_write_requires_claim(self, rbd):
+        rbd.create_image("vol1", 10 * EXTENT_BYTES)
+        with pytest.raises(StorageError):
+            rbd.write("vol1", 0, 100)
+
+    def test_rwo_exclusive_claim(self, rbd):
+        rbd.create_image("vol1", 10 * EXTENT_BYTES)
+        rbd.claim("vol1", "pod-1")
+        with pytest.raises(ConflictError):
+            rbd.claim("vol1", "pod-2")
+        rbd.release("vol1", "pod-1")
+        rbd.claim("vol1", "pod-2")
+
+    def test_out_of_bounds_write_rejected(self, rbd):
+        rbd.create_image("vol1", 2 * EXTENT_BYTES)
+        rbd.claim("vol1", "pod-1")
+        with pytest.raises(StorageError):
+            rbd.write("vol1", EXTENT_BYTES, 2 * EXTENT_BYTES)
+
+    def test_resize_grow_and_guard(self, rbd):
+        rbd.create_image("vol1", 2 * EXTENT_BYTES)
+        rbd.claim("vol1", "pod-1")
+        rbd.write("vol1", 0, 2 * EXTENT_BYTES)
+        rbd.resize("vol1", 10 * EXTENT_BYTES)
+        with pytest.raises(StorageError):
+            rbd.resize("vol1", EXTENT_BYTES)
+
+    def test_snapshot_bookkeeping(self, rbd):
+        image = rbd.create_image("vol1", 10 * EXTENT_BYTES)
+        rbd.claim("vol1", "pod-1")
+        rbd.write("vol1", 0, EXTENT_BYTES)
+        rbd.snapshot("vol1", "before")
+        rbd.write("vol1", 5 * EXTENT_BYTES, EXTENT_BYTES)
+        assert image.snapshots["before"] == 1
+        with pytest.raises(ConflictError):
+            rbd.snapshot("vol1", "before")
+
+    def test_remove_image_frees_objects(self, rbd, ceph):
+        rbd.create_image("vol1", 10 * EXTENT_BYTES)
+        rbd.claim("vol1", "pod-1")
+        rbd.write("vol1", 0, 3 * EXTENT_BYTES)
+        with pytest.raises(StorageError):
+            rbd.remove_image("vol1")  # still claimed
+        rbd.release("vol1", "pod-1")
+        rbd.remove_image("vol1")
+        assert ceph.list_keys("rbd") == []
+
+    def test_duplicate_and_invalid(self, rbd):
+        rbd.create_image("vol1", EXTENT_BYTES)
+        with pytest.raises(ConflictError):
+            rbd.create_image("vol1", EXTENT_BYTES)
+        with pytest.raises(StorageError):
+            rbd.create_image("vol2", 0)

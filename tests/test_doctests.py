@@ -1,0 +1,25 @@
+"""Run the doctests embedded in module/function docstrings.
+
+Keeps every ``>>>`` example in the documentation honest.
+"""
+
+import doctest
+
+import pytest
+
+import repro.cluster.quantity
+import repro.data.netcdf
+import repro.sim.rng
+
+MODULES = [
+    repro.cluster.quantity,
+    repro.data.netcdf,
+    repro.sim.rng,
+]
+
+
+@pytest.mark.parametrize("module", MODULES, ids=lambda m: m.__name__)
+def test_module_doctests(module):
+    results = doctest.testmod(module, verbose=False)
+    assert results.failed == 0, f"{module.__name__}: {results.failed} doctest failures"
+    assert results.attempted > 0, f"{module.__name__} has no doctests to run"

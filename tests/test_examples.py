@@ -1,0 +1,48 @@
+"""Smoke tests: every example script runs to completion as a subprocess.
+
+The examples are part of the public deliverable; these tests keep them
+from rotting as the library evolves.  Each runs in its own process with
+the repo's ``src`` on the path (the case study runs at a reduced scale).
+"""
+
+import pathlib
+import subprocess
+import sys
+
+import pytest
+
+REPO = pathlib.Path(__file__).resolve().parents[1]
+EXAMPLES = REPO / "examples"
+
+#: script name -> extra argv
+CASES = {
+    "quickstart.py": [],
+    "connect_case_study.py": ["0.002"],
+    "self_healing_demo.py": [],
+    "hyperparameter_sweep.py": [],
+    "distributed_training.py": [],
+    "namespace_multitenancy.py": [],
+    "vr_visualization.py": [],
+    "ppods_collaboration.py": [],
+}
+
+
+def test_every_example_has_a_case():
+    scripts = {p.name for p in EXAMPLES.glob("*.py")}
+    assert scripts == set(CASES), "update CASES when adding examples"
+
+
+@pytest.mark.parametrize("script", sorted(CASES))
+def test_example_runs(script):
+    result = subprocess.run(
+        [sys.executable, str(EXAMPLES / script), *CASES[script]],
+        capture_output=True,
+        text=True,
+        timeout=420,
+        cwd=str(REPO),
+    )
+    assert result.returncode == 0, (
+        f"{script} failed:\nstdout:\n{result.stdout[-2000:]}\n"
+        f"stderr:\n{result.stderr[-2000:]}"
+    )
+    assert result.stdout.strip()  # every example narrates its run

@@ -1,0 +1,115 @@
+"""Tests for JupyterHub: CILogon auth, spawning, activity culling."""
+
+import pytest
+
+from repro.cluster.pod import PodPhase
+from repro.errors import ClusterError
+from repro.jupyter import CILogonAuthenticator, JupyterHub
+from repro.testbed import build_nautilus_testbed
+
+
+@pytest.fixture
+def testbed():
+    return build_nautilus_testbed(seed=8, scale=0.0001)
+
+
+@pytest.fixture
+def hub(testbed):
+    return JupyterHub(testbed, idle_timeout=600.0, cull_interval=60.0)
+
+
+class TestCILogon:
+    def test_federated_identity_accepted(self):
+        auth = CILogonAuthenticator()
+        assert auth.authenticate("grad@ucsd.edu") == "grad@ucsd.edu"
+        assert "grad@ucsd.edu" in auth.claimed
+
+    def test_unfederated_provider_rejected(self):
+        auth = CILogonAuthenticator()
+        with pytest.raises(PermissionError):
+            auth.authenticate("user@evil.example")
+
+    def test_non_identity_rejected(self):
+        with pytest.raises(PermissionError):
+            CILogonAuthenticator().authenticate("not-an-email")
+
+    def test_custom_providers(self):
+        auth = CILogonAuthenticator(providers={"lab.example"})
+        auth.authenticate("x@lab.example")
+        with pytest.raises(PermissionError):
+            auth.authenticate("x@ucsd.edu")
+
+
+class TestSpawning:
+    def test_spawn_attaches_gpu(self, testbed, hub):
+        server = hub.spawn("grad@ucsd.edu")
+        testbed.env.run(until=60)
+        assert server.ready
+        assert len(server.gpus) == 1  # "attached to a GPU on the cluster"
+        assert hub.gpus_in_use() == 1
+
+    def test_spawn_is_idempotent_per_user(self, testbed, hub):
+        a = hub.spawn("grad@ucsd.edu")
+        testbed.env.run(until=60)
+        b = hub.spawn("grad@ucsd.edu")
+        assert a is b
+        assert len(hub.active_users()) == 1
+
+    def test_cephfs_mounted(self, testbed, hub):
+        server = hub.spawn("grad@ucsd.edu")
+        assert server.pod.spec.volumes["cephfs"] is testbed.cephfs
+
+    def test_multiple_users_distinct_gpus(self, testbed, hub):
+        s1 = hub.spawn("a@ucsd.edu")
+        s2 = hub.spawn("b@uci.edu")
+        testbed.env.run(until=60)
+        assert set(s1.gpus).isdisjoint(s2.gpus)
+        assert hub.active_users() == ["a@ucsd.edu", "b@uci.edu"]
+
+    def test_unauthenticated_spawn_rejected(self, hub):
+        with pytest.raises(PermissionError):
+            hub.spawn("anon@unknown.tld")
+
+    def test_stop_releases_gpu(self, testbed, hub):
+        hub.spawn("grad@ucsd.edu")
+        testbed.env.run(until=60)
+        assert hub.gpus_in_use() == 1
+        hub.stop("grad@ucsd.edu")
+        testbed.env.run(until=120)
+        assert hub.gpus_in_use() == 0
+        assert hub.active_users() == []
+
+
+class TestCulling:
+    def test_idle_server_culled(self, testbed, hub):
+        hub.spawn("grad@ucsd.edu")
+        testbed.env.run(until=1000)  # idle_timeout=600
+        assert "grad@ucsd.edu" in hub.culled
+        assert hub.active_users() == []
+
+    def test_activity_defers_culling(self, testbed, hub):
+        hub.spawn("grad@ucsd.edu")
+
+        def keep_alive(env):
+            while env.now < 1500:
+                yield env.timeout(300)
+                hub.touch("grad@ucsd.edu")
+
+        testbed.env.process(keep_alive(testbed.env))
+        testbed.env.run(until=1400)
+        assert hub.active_users() == ["grad@ucsd.edu"]
+        # Once activity stops, the culler reclaims the GPU.
+        testbed.env.run(until=3000)
+        assert hub.active_users() == []
+
+    def test_touch_unknown_user_rejected(self, hub):
+        with pytest.raises(ClusterError):
+            hub.touch("ghost@ucsd.edu")
+
+    def test_respawn_after_cull(self, testbed, hub):
+        hub.spawn("grad@ucsd.edu")
+        testbed.env.run(until=1000)
+        assert hub.active_users() == []
+        server = hub.spawn("grad@ucsd.edu")
+        testbed.env.run(until=1100)
+        assert server.pod.phase is PodPhase.RUNNING

@@ -1,0 +1,127 @@
+"""Tests for the Redis-like reliable queue."""
+
+import pytest
+
+from repro.errors import QueueEmptyError, TransferError
+from repro.sim import Environment
+from repro.transfer import RedisQueue
+
+
+@pytest.fixture
+def env():
+    return Environment()
+
+
+@pytest.fixture
+def queue(env):
+    return RedisQueue(env)
+
+
+class TestBasicOps:
+    def test_push_try_pop_fifo(self, queue):
+        queue.push_all(["a", "b", "c"])
+        assert queue.try_pop("w").body == "a"
+        assert queue.try_pop("w").body == "b"
+        assert len(queue) == 1
+
+    def test_try_pop_empty_raises(self, queue):
+        with pytest.raises(QueueEmptyError):
+            queue.try_pop("w")
+
+    def test_blocking_pop_waits_for_push(self, env, queue):
+        got = []
+
+        def consumer(env):
+            msg = yield queue.pop("w")
+            got.append((env.now, msg.body))
+
+        def producer(env):
+            yield env.timeout(5)
+            queue.push("late")
+
+        env.process(consumer(env))
+        env.process(producer(env))
+        env.run()
+        assert got == [(5, "late")]
+
+    def test_kv_store(self, queue):
+        queue.set("done:file1", True)
+        assert queue.get("done:file1") is True
+        assert queue.get("missing", "dflt") == "dflt"
+
+
+class TestReliability:
+    def test_pop_moves_to_processing(self, queue):
+        queue.push("x")
+        msg = queue.try_pop("w1")
+        assert queue.in_flight == 1
+        assert msg in queue.processing["w1"]
+
+    def test_ack_clears_processing(self, queue):
+        queue.push("x")
+        msg = queue.try_pop("w1")
+        queue.ack("w1", msg)
+        assert queue.in_flight == 0
+        assert queue.acked_total == 1
+        assert queue.drained
+
+    def test_ack_unheld_message_rejected(self, queue):
+        queue.push("x")
+        msg = queue.try_pop("w1")
+        with pytest.raises(TransferError):
+            queue.ack("w2", msg)
+
+    def test_recover_requeues_crashed_workers_messages(self, queue):
+        queue.push_all(["a", "b"])
+        queue.try_pop("w1")
+        queue.try_pop("w1")
+        assert len(queue) == 0
+        n = queue.recover("w1")
+        assert n == 2
+        assert len(queue) == 2
+        assert queue.requeued_total == 2
+
+    def test_recovered_message_tracks_attempts(self, queue):
+        queue.push("x")
+        first = queue.try_pop("w1")
+        assert first.attempts == 1
+        queue.recover("w1")
+        again = queue.try_pop("w2")
+        assert again.attempts == 2
+        assert again.id == first.id
+
+    def test_recover_unknown_consumer_is_noop(self, queue):
+        assert queue.recover("ghost") == 0
+
+    def test_drained_requires_empty_and_no_inflight(self, queue):
+        assert queue.drained
+        queue.push("x")
+        assert not queue.drained
+        msg = queue.try_pop("w")
+        assert not queue.drained
+        queue.ack("w", msg)
+        assert queue.drained
+
+
+class TestConcurrentConsumers:
+    def test_work_distributes_across_workers(self, env, queue):
+        queue.push_all(range(10))
+        seen = {f"w{i}": [] for i in range(3)}
+
+        def worker(env, name):
+            while True:
+                try:
+                    msg = queue.try_pop(name)
+                except QueueEmptyError:
+                    return
+                yield env.timeout(1)  # simulate work
+                queue.ack(name, msg)
+                seen[name].append(msg.body)
+
+        for name in seen:
+            env.process(worker(env, name))
+        env.run()
+        assert sorted(sum(seen.values(), [])) == list(range(10))
+        assert queue.drained
+        # All three workers got some share.
+        assert all(len(v) >= 3 for v in seen.values())

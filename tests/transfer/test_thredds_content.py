@@ -1,0 +1,65 @@
+"""Tests for THREDDS content serving (real granule arrays)."""
+
+import numpy as np
+import pytest
+
+from repro.data import MerraArchive
+from repro.data.merra import GridSpec, MerraGenerator
+from repro.errors import TransferError
+from repro.transfer import ThreddsServer
+
+
+@pytest.fixture
+def server():
+    grid = GridSpec(nlat=20, nlon=30, nlev=4)
+    return ThreddsServer(
+        MerraArchive(n_files=50, seed=1),
+        generator=MerraGenerator(grid, seed=1),
+    )
+
+
+class TestContentService:
+    def test_full_granule_has_all_variables(self, server):
+        granule = server.open_granule(3)
+        for var in ("U", "V", "QV", "T", "PS"):
+            assert var in granule
+        assert granule.variables["U"].data is not None
+
+    def test_subset_drops_decoy_variables(self, server):
+        subset = server.open_granule(3, variables=("U", "V", "QV"))
+        assert sorted(subset.variables) == ["QV", "U", "V"]
+
+    def test_subset_content_matches_full(self, server):
+        full = server.open_granule(5)
+        subset = server.open_granule(5, variables=("QV",))
+        np.testing.assert_array_equal(
+            subset.variables["QV"].data, full.variables["QV"].data
+        )
+
+    def test_granule_name_matches_catalog(self, server):
+        granule = server.open_granule(7)
+        assert granule.name == server.archive.granule(7).name
+
+    def test_unknown_variable_rejected(self, server):
+        with pytest.raises(TransferError):
+            server.open_granule(0, variables=("GHOST",))
+
+    def test_bad_index_rejected(self, server):
+        with pytest.raises(IndexError):
+            server.open_granule(999)
+
+    def test_catalog_only_server_refuses(self):
+        server = ThreddsServer(MerraArchive(n_files=5))
+        with pytest.raises(TransferError):
+            server.open_granule(0)
+
+    def test_bytes_served_tracks_content(self, server):
+        before = server.bytes_served
+        granule = server.open_granule(0)
+        assert server.bytes_served - before == granule.nbytes
+
+    def test_temporal_index_is_content_seed(self, server):
+        """Different granules carry different (time-evolved) fields."""
+        a = server.open_granule(0).variables["QV"].data
+        b = server.open_granule(40).variables["QV"].data
+        assert not np.array_equal(a, b)

@@ -1,0 +1,96 @@
+"""Tests for concurrent execution of independent DAG branches."""
+
+import pytest
+
+from repro.testbed import build_nautilus_testbed
+from repro.workflow import Workflow, WorkflowDriver
+from tests.workflow.test_workflow_core import SleepStep
+
+
+@pytest.fixture
+def testbed():
+    return build_nautilus_testbed(seed=1, scale=0.0001)
+
+
+class TestParallelBranches:
+    def test_independent_steps_overlap(self, testbed):
+        wf = Workflow(
+            "par",
+            [
+                SleepStep(name="a", params={"duration": 10.0}),
+                SleepStep(name="b", params={"duration": 10.0}),
+            ],
+        )
+        report = WorkflowDriver(testbed).run(wf)
+        assert report.succeeded
+        # Both ran concurrently: total ~10s, not ~20s.
+        assert report.total_duration_s == pytest.approx(10.0)
+        a, b = report.step("a"), report.step("b")
+        assert a.start_time == b.start_time
+
+    def test_diamond_dag_ordering(self, testbed):
+        wf = Workflow(
+            "diamond",
+            [
+                SleepStep(name="src", params={"duration": 3.0}),
+                SleepStep(name="left", params={"duration": 5.0}).after("src"),
+                SleepStep(name="right", params={"duration": 7.0}).after("src"),
+                SleepStep(name="sink", params={"duration": 1.0}).after(
+                    "left", "right"
+                ),
+            ],
+        )
+        report = WorkflowDriver(testbed).run(wf)
+        assert report.succeeded
+        src = report.step("src")
+        left, right = report.step("left"), report.step("right")
+        sink = report.step("sink")
+        # Branches start together after src; sink waits for the slower one.
+        assert left.start_time == right.start_time == src.end_time
+        assert sink.start_time == right.end_time  # right is slower (7s)
+        assert report.total_duration_s == pytest.approx(3.0 + 7.0 + 1.0)
+
+    def test_failure_skips_only_dependents(self, testbed):
+        wf = Workflow(
+            "mixed",
+            [
+                SleepStep(name="bad", params={"duration": 2.0, "fail": True}),
+                SleepStep(name="child-of-bad", params={"duration": 1.0}).after(
+                    "bad"
+                ),
+                SleepStep(name="independent", params={"duration": 8.0}),
+            ],
+        )
+        report = WorkflowDriver(testbed).run(wf, fail_fast=False)
+        names = {s.name for s in report.steps}
+        assert "independent" in names
+        assert report.step("independent").succeeded
+        # The dependent of the failed step never ran.
+        assert "child-of-bad" not in names
+        assert not report.succeeded
+
+    def test_fail_fast_lets_running_siblings_finish(self, testbed):
+        wf = Workflow(
+            "ff",
+            [
+                SleepStep(name="bad", params={"duration": 2.0, "fail": True}),
+                SleepStep(name="slow", params={"duration": 6.0}),
+            ],
+        )
+        report = WorkflowDriver(testbed).run(wf, fail_fast=True)
+        # The already-running sibling completed cleanly before the stop.
+        assert report.step("slow").succeeded
+        assert report.step("slow").duration_s == pytest.approx(6.0)
+
+    def test_linear_chain_still_sequential(self, testbed):
+        wf = Workflow(
+            "chain",
+            [
+                SleepStep(name="a", params={"duration": 2.0}),
+                SleepStep(name="b", params={"duration": 2.0}).after("a"),
+                SleepStep(name="c", params={"duration": 2.0}).after("b"),
+            ],
+        )
+        report = WorkflowDriver(testbed).run(wf)
+        assert report.total_duration_s == pytest.approx(6.0)
+        assert report.step("b").start_time == report.step("a").end_time

@@ -1,0 +1,138 @@
+"""Tests for step-level retries, dashboards, and background traffic."""
+
+import pytest
+
+from repro.netsim.background import BackgroundTraffic
+from repro.testbed import build_nautilus_testbed
+from repro.viz.dashboards import build_cluster_dashboard, build_workflow_dashboard
+from repro.workflow import Workflow, WorkflowDriver
+from repro.workflow.step import StepContext, WorkflowStep
+
+
+class FlakyStep(WorkflowStep):
+    """Fails the first N executions, then succeeds."""
+
+    default_params = {"failures": 2, "duration": 5.0}
+
+    def __init__(self, **kwargs):
+        super().__init__(**kwargs)
+        self.attempts = 0
+
+    def execute(self, ctx: StepContext):
+        self.attempts += 1
+        yield ctx.env.timeout(float(ctx.params["duration"]))
+        if self.attempts <= int(ctx.params["failures"]):
+            raise RuntimeError(f"flaky failure #{self.attempts}")
+        ctx.report.artifacts["attempts"] = self.attempts
+
+
+@pytest.fixture
+def testbed():
+    return build_nautilus_testbed(seed=1, scale=0.0001)
+
+
+class TestStepRetries:
+    def test_retries_until_success(self, testbed):
+        step = FlakyStep(name="flaky", max_retries=3, retry_delay_s=10.0)
+        report = WorkflowDriver(testbed).run(Workflow("w", [step]))
+        assert report.succeeded
+        s = report.steps[0]
+        assert s.artifacts["attempts"] == 3
+        assert s.retries == 2
+        # Duration includes the two retry delays.
+        assert s.duration_s >= 3 * 5.0 + 2 * 10.0
+
+    def test_exhausted_retries_fail_step(self, testbed):
+        step = FlakyStep(name="flaky", max_retries=1,
+                         params={"failures": 5})
+        report = WorkflowDriver(testbed).run(Workflow("w", [step]))
+        assert not report.succeeded
+        assert "flaky failure" in report.steps[0].error
+
+    def test_zero_retries_default(self, testbed):
+        step = FlakyStep(name="flaky", params={"failures": 1})
+        report = WorkflowDriver(testbed).run(Workflow("w", [step]))
+        assert not report.succeeded
+        assert step.attempts == 1
+
+    def test_retry_events_recorded(self, testbed):
+        step = FlakyStep(name="flaky", max_retries=2, retry_delay_s=1.0)
+        WorkflowDriver(testbed).run(Workflow("w", [step]))
+        retry_events = [
+            e for e in testbed.cluster.events if e.reason == "Retrying"
+        ]
+        assert len(retry_events) == 2
+
+    def test_negative_retry_settings_rejected(self):
+        with pytest.raises(Exception):
+            FlakyStep(name="x", max_retries=-1)
+
+
+class TestDashboards:
+    def test_cluster_dashboard_renders_live_metrics(self, testbed):
+        testbed.env.run(until=60)  # a few scrapes
+        dash = build_cluster_dashboard(testbed)
+        out = dash.render()
+        assert "CPU allocated" in out
+        assert "Ceph bytes stored" in out
+        assert "(no data)" not in out.split("THREDDS")[0]  # node panels live
+
+    def test_workflow_dashboard_after_run(self, testbed):
+        from repro.workflow import build_connect_workflow
+
+        report = WorkflowDriver(testbed).run(
+            build_connect_workflow(testbed, real_ml=False)
+        )
+        assert report.succeeded
+        out = build_workflow_dashboard(testbed).render()
+        assert "Step 1 worker CPU" in out
+        assert "Step 3 GPU busy" in out
+        # Stat panel shows the downloaded volume.
+        assert "Step 1 bytes downloaded" in out
+
+
+class TestBackgroundTraffic:
+    def test_traffic_flows_and_is_deterministic(self, testbed):
+        bg = BackgroundTraffic(
+            testbed.env, testbed.flowsim, testbed.topology,
+            mean_interarrival=10.0, seed=3,
+        )
+        testbed.env.run(until=500)
+        bg.stop()
+        assert bg.flows_started > 10
+        assert bg.bytes_offered > 0
+
+        tb2 = build_nautilus_testbed(seed=1, scale=0.0001)
+        bg2 = BackgroundTraffic(
+            tb2.env, tb2.flowsim, tb2.topology,
+            mean_interarrival=10.0, seed=3,
+        )
+        tb2.env.run(until=500)
+        assert bg2.flows_started == bg.flows_started
+        assert bg2.bytes_offered == pytest.approx(bg.bytes_offered)
+
+    def test_workflow_survives_contention(self, testbed):
+        """The 100G core insulates the workflow: it completes under
+        heavy cross traffic (the archive egress is the bottleneck)."""
+        from repro.workflow import DownloadStep
+
+        BackgroundTraffic(
+            testbed.env, testbed.flowsim, testbed.topology,
+            mean_interarrival=5.0, seed=4,
+        )
+        report = WorkflowDriver(testbed).run(
+            Workflow("contended", [DownloadStep()])
+        )
+        assert report.succeeded
+
+    def test_validation(self, testbed):
+        with pytest.raises(ValueError):
+            BackgroundTraffic(
+                testbed.env, testbed.flowsim, testbed.topology,
+                mean_interarrival=0,
+            )
+        with pytest.raises(ValueError):
+            BackgroundTraffic(
+                testbed.env, testbed.flowsim, testbed.topology,
+                flow_bytes=(0, 10),
+            )

@@ -1,0 +1,44 @@
+"""Tests for the multi-seed robustness suite."""
+
+import pytest
+
+from repro.errors import ValidationError
+from repro.workflow import build_connect_workflow
+from repro.workflow.suite import run_robustness_suite
+
+
+@pytest.fixture(scope="module")
+def robustness():
+    return run_robustness_suite(
+        lambda tb: build_connect_workflow(tb, real_ml=False),
+        seeds=(41, 42, 43),
+        scale=0.001,
+    )
+
+
+class TestRobustness:
+    def test_all_seeds_succeed(self, robustness):
+        assert robustness.all_succeeded
+        assert len(robustness.reports) == 3
+
+    def test_structural_columns_seed_invariant(self, robustness):
+        """Table I's pods/CPUs/GPUs columns must not depend on the seed."""
+        for stats in robustness.steps.values():
+            assert stats.structurally_stable, stats.name
+        assert robustness.steps["download"].pods == {14}
+        assert robustness.steps["inference"].gpus == {50}
+
+    def test_training_duration_spread_matches_jitter(self, robustness):
+        """Training time varies only through the ±5% GPU-speed jitter."""
+        assert robustness.steps["training"].cv <= 0.06
+
+    def test_render(self, robustness):
+        out = robustness.render()
+        assert "Robustness across seeds" in out
+        assert "download" in out
+
+    def test_seed_validation(self):
+        with pytest.raises(ValidationError):
+            run_robustness_suite(lambda tb: None, seeds=(1,))
+        with pytest.raises(ValidationError):
+            run_robustness_suite(lambda tb: None, seeds=(1, 1))
