@@ -5,18 +5,48 @@ Paper §V: "The CHASE-CI infrastructure is very dynamic in the fact that
 nodes can join and leave the cluster at any time ... If a node is taken
 offline the pods on that node will be rescheduled on another node."
 
-This script starts the step-1 download job, kills the node carrying the
+Act 1 starts the step-1 download job, kills the node carrying the
 busiest worker halfway through (twice), and shows: the pods fail with
 ``NodeLost``, the Job controller spawns replacements on surviving nodes,
 the Redis queue re-issues the crashed workers' unacked chunks, and the
 job completes having downloaded every file exactly once.
 
+Act 2 partitions a whole site off the WAN instead of crashing anything:
+the node-lease controller stops hearing heartbeats from the site, its
+nodes go NotReady through the same path as a hard failure, a ReplicaSet
+reschedules the stranded replicas elsewhere — and when the partition
+heals, the leases renew and the nodes rejoin on their own.
+
 Run:  python examples/self_healing_demo.py
 """
 
-from repro.cluster import PodPhase
+from repro.cluster import PodPhase, ReplicaSetSpec
 from repro.testbed import build_nautilus_testbed
 from repro.workflow import DownloadStep, Workflow, WorkflowDriver
+
+from repro.cluster import (  # noqa: E402  (grouped for the act-2 template)
+    ContainerSpec,
+    PodSpec,
+    ResourceRequirements,
+)
+
+
+def _service_pod_spec() -> PodSpec:
+    """A long-running service container (act 2's ReplicaSet template)."""
+
+    def main(ctx):
+        yield ctx.env.timeout(1e9)
+
+    return PodSpec(
+        containers=[
+            ContainerSpec(
+                name="svc",
+                image="repro/service:1",
+                main=main,
+                resources=ResourceRequirements(cpu=1, memory="1Gi"),
+            )
+        ]
+    )
 
 
 def main() -> None:
@@ -74,6 +104,63 @@ def main() -> None:
     assert lost_events, "chaos process never fired"
     assert step.artifacts["queue_requeued"] > 0
     print("\nSelf-healing verified: job completed despite node failures.")
+
+    # ---- Act 2: partition a site, watch leases expire, then recover ----
+    print("\n=== Act 2: network partition -> NotReady -> reschedule -> heal ===")
+    testbed.enable_node_leases(interval_s=15.0, grace_periods=3)
+    faults = testbed.network_faults()
+    cluster.create_replicaset(
+        "edge-service",
+        ReplicaSetSpec(template=lambda i: _service_pod_spec(), replicas=6),
+    )
+    env.run(until=env.now + 60.0)
+
+    # Pick a non-control-plane site that actually hosts a replica.
+    running = cluster.list_pods(phase=PodPhase.RUNNING)
+    sites = {
+        cluster.get_node(p.node_name).spec.site
+        for p in running
+        if p.meta.name.startswith("edge-service")
+    }
+    victim_site = sorted(sites - {"UCSD"})[0]
+    print(f"[t={env.now:7.1f}s] CHAOS: partitioning site {victim_site} off the WAN")
+    faults.partition([victim_site])
+
+    ready_before = {n.spec.name for n in cluster.ready_nodes()}
+    env.run(until=env.now + 60.0)  # 3 missed 15 s heartbeats + reschedule
+    not_ready = sorted(
+        name
+        for name in ready_before
+        if not cluster.get_node(name).ready
+    )
+    print(f"[t={env.now:7.1f}s] NotReady after lease expiry: {', '.join(not_ready)}")
+    for event in cluster.events:
+        if event.reason in ("LeaseExpired", "LeaseRenewed"):
+            print("  " + str(event))
+    replicas = [
+        p
+        for p in cluster.list_pods(phase=PodPhase.RUNNING)
+        if p.meta.name.startswith("edge-service")
+    ]
+    on_victim = [
+        p
+        for p in replicas
+        if cluster.get_node(p.node_name).spec.site == victim_site
+    ]
+    print(
+        f"[t={env.now:7.1f}s] service replicas running: {len(replicas)} "
+        f"(on {victim_site}: {len(on_victim)})"
+    )
+
+    faults.heal_partition()
+    env.run(until=env.now + 40.0)  # heartbeats resume, leases renew
+    recovered = sorted(n for n in not_ready if cluster.get_node(n).ready)
+    print(f"[t={env.now:7.1f}s] partition healed; auto-recovered: {', '.join(recovered)}")
+
+    assert not_ready, "lease controller never expired a lease"
+    assert len(replicas) == 6 and not on_victim
+    assert recovered == not_ready
+    print("\nSelf-healing verified: partitioned site drained and rejoined by itself.")
 
 
 if __name__ == "__main__":

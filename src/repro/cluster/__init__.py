@@ -26,7 +26,7 @@ those semantics from scratch on the :mod:`repro.sim` kernel:
 from repro.cluster.quantity import Quantity, parse_cpu, parse_memory, format_memory
 from repro.cluster.objects import ObjectMeta, ResourceRequirements, ClusterEvent
 from repro.cluster.node import Node, NodeSpec, fiona_node_spec, fiona8_node_spec
-from repro.cluster.pod import Pod, PodSpec, ContainerSpec, PodPhase, RestartPolicy
+from repro.cluster.pod import Pod, PodSpec, ContainerSpec, PodPhase, RestartPolicy, LivenessProbe
 from repro.cluster.namespace import Namespace, ResourceQuota
 from repro.cluster.scheduler import Scheduler, SchedulingStrategy
 from repro.cluster.controllers import (
@@ -54,6 +54,7 @@ __all__ = [
     "fiona8_node_spec",
     "Pod",
     "PodSpec",
+    "LivenessProbe",
     "ContainerSpec",
     "PodPhase",
     "RestartPolicy",

@@ -42,6 +42,9 @@ from repro.errors import (
 )
 from repro.sim import Environment
 
+if _t.TYPE_CHECKING:  # pragma: no cover
+    from repro.monitoring.metrics import MetricRegistry
+
 __all__ = ["Cluster"]
 
 #: Simulated latency between a pod binding and its containers starting
@@ -83,6 +86,17 @@ class Cluster:
         self._kick_scheduled = False
         #: hooks called as (pod, old_phase, new_phase) on every transition
         self.phase_hooks: list[_t.Callable[[Pod, PodPhase, PodPhase], None]] = []
+        #: optional registry for control-plane counters (liveness kills,
+        #: lease expirations); the testbed wires this up.
+        self.metrics: "MetricRegistry | None" = None
+        # Node-lease controller state (enable_node_leases).
+        self._lease_missed: dict[str, int] = {}
+        self._lease_failed: set[str] = set()
+        self._lease_proc = None
+
+    def _count(self, metric: str, labels: dict[str, str] | None = None) -> None:
+        if self.metrics is not None:
+            self.metrics.inc_counter(metric, 1.0, labels)
 
     # ------------------------------------------------------------------ events
 
@@ -189,6 +203,66 @@ class Cluster:
         self.record_event("Node", name, "NodeReady", "node rejoined the cluster")
         self._reconcile_all()
         self._kick_scheduler()
+
+    def enable_node_leases(
+        self,
+        reachable: _t.Callable[[str], bool],
+        interval_s: float = 15.0,
+        grace_periods: int = 3,
+    ) -> None:
+        """Start the node heartbeat/lease controller.
+
+        Every ``interval_s`` the control plane checks each node's
+        heartbeat via ``reachable(node_name)`` (on the testbed this is a
+        live topology-route check, so a network partition silences the
+        node exactly like a crash).  After ``grace_periods`` consecutive
+        missed heartbeats the node's lease expires: it transitions to
+        NotReady through :meth:`fail_node` — the same code path as hard
+        failure — and its pods are rescheduled.  A node whose heartbeats
+        resume is automatically recovered, but only if the lease
+        controller was what failed it.
+        """
+        if self._lease_proc is not None:
+            raise ConflictError("node-lease controller already enabled")
+        if interval_s <= 0 or grace_periods < 1:
+            raise ValueError("need interval_s > 0 and grace_periods >= 1")
+        self._lease_proc = self.env.process(
+            self._lease_loop(reachable, interval_s, grace_periods),
+            name="node-lease-controller",
+        )
+
+    def _lease_loop(
+        self,
+        reachable: _t.Callable[[str], bool],
+        interval_s: float,
+        grace_periods: int,
+    ):
+        while True:
+            yield self.env.timeout(interval_s)
+            for name in sorted(self.nodes):
+                node = self.nodes[name]
+                if bool(reachable(name)):
+                    self._lease_missed[name] = 0
+                    if name in self._lease_failed:
+                        self._lease_failed.discard(name)
+                        self.record_event(
+                            "Node", name, "LeaseRenewed", "heartbeats resumed"
+                        )
+                        self.recover_node(name)
+                    continue
+                missed = self._lease_missed.get(name, 0) + 1
+                self._lease_missed[name] = missed
+                if missed >= grace_periods and node.ready:
+                    self.record_event(
+                        "Node",
+                        name,
+                        "LeaseExpired",
+                        f"missed {missed} heartbeats "
+                        f"({missed * interval_s:.0f}s silent)",
+                    )
+                    self._count("node_lease_expirations_total", {"node": name})
+                    self._lease_failed.add(name)
+                    self.fail_node(name)
 
     def total_capacity(self) -> dict[str, float]:
         """Aggregate CPU/memory/GPU across ready nodes."""
@@ -504,9 +578,15 @@ class Cluster:
             self.record_event(
                 "Pod", pod.meta.name, "Started", namespace=pod.meta.namespace
             )
+            if pod.spec.liveness is not None:
+                self.env.process(
+                    self._liveness_watchdog(pod),
+                    name=f"liveness:{pod.meta.name}",
+                )
 
             ctx = PodContext(self.env, pod, node, self)
             while True:
+                pod.last_heartbeat = self.env.now
                 procs = [
                     self.env.process(
                         c.main(ctx), name=f"{pod.meta.name}/{c.name}"
@@ -553,6 +633,40 @@ class Cluster:
                     pod, node, PodPhase.FAILED, reason=str(kill.cause)
                 )
             return
+
+    def _liveness_watchdog(self, pod: Pod):
+        """Kill a pod whose containers stop heartbeating (hung, not dead).
+
+        The probe is only armed while containers are actually running —
+        crash-backoff gaps don't count against the timeout, matching the
+        Kubernetes semantics of probes pausing between restarts.
+        """
+        probe = pod.spec.liveness
+        assert probe is not None
+        if probe.initial_delay_s > 0:
+            yield self.env.timeout(probe.initial_delay_s)
+        while not pod.is_terminal:
+            yield self.env.timeout(probe.period_s)
+            if pod.is_terminal:
+                return
+            containers = getattr(pod, "_containers", ())
+            if not any(proc.is_alive for proc in containers):
+                continue
+            if self.env.now - pod.last_heartbeat > probe.timeout_s:
+                self.record_event(
+                    "Pod",
+                    pod.meta.name,
+                    "LivenessFailed",
+                    f"no heartbeat for {self.env.now - pod.last_heartbeat:.0f}s "
+                    f"(timeout {probe.timeout_s:.0f}s)",
+                    namespace=pod.meta.namespace,
+                )
+                self._count(
+                    "pod_liveness_restarts_total",
+                    {"namespace": pod.meta.namespace},
+                )
+                self._terminate_pod(pod, PodPhase.FAILED, reason="LivenessFailed")
+                return
 
     def _finish_pod(
         self, pod: Pod, node: Node, phase: PodPhase, reason: str = ""

@@ -25,6 +25,7 @@ __all__ = [
     "PodPhase",
     "RestartPolicy",
     "ContainerSpec",
+    "LivenessProbe",
     "PodSpec",
     "Pod",
     "PodContext",
@@ -76,6 +77,28 @@ class ContainerSpec:
     )
 
 
+@dataclasses.dataclass(frozen=True)
+class LivenessProbe:
+    """Heartbeat-based liveness check for a pod's containers.
+
+    Containers call :meth:`PodContext.heartbeat` as they make progress;
+    the kubelet's watchdog kills the pod (phase FAILED, reason
+    ``LivenessFailed``) when no heartbeat lands for ``timeout_s`` — so a
+    pod hung on a partitioned path is converted into a restart charged
+    against the owning Job's ``backoff_limit``, exactly like a crash.
+    """
+
+    period_s: float = 10.0
+    timeout_s: float = 60.0
+    initial_delay_s: float = 0.0
+
+    def __post_init__(self) -> None:
+        if self.period_s <= 0 or self.timeout_s <= 0:
+            raise ValidationError("liveness period/timeout must be positive")
+        if self.initial_delay_s < 0:
+            raise ValidationError("liveness initial delay must be >= 0")
+
+
 @dataclasses.dataclass
 class PodSpec:
     """Desired state of a pod.
@@ -92,6 +115,7 @@ class PodSpec:
     volumes: dict[str, object] = dataclasses.field(default_factory=dict)
     params: dict[str, object] = dataclasses.field(default_factory=dict)
     priority: int = 0
+    liveness: LivenessProbe | None = None
 
     def __post_init__(self) -> None:
         if not self.containers:
@@ -123,6 +147,7 @@ class Pod:
         self.result: object = None
         self.failure: BaseException | None = None
         self.owner_uid: str | None = None  # controller (Job/ReplicaSet) uid
+        self.last_heartbeat: float = 0.0
         self._process: "Process | None" = None
 
     @property
@@ -163,6 +188,10 @@ class PodContext:
     def volume(self, name: str) -> object:
         """Look up a mounted volume by name (raises ``KeyError`` if absent)."""
         return self.volumes[name]
+
+    def heartbeat(self) -> None:
+        """Signal liveness: resets the pod's liveness-probe watchdog."""
+        self.pod.last_heartbeat = self.env.now
 
     def log_event(self, reason: str, message: str = "") -> None:
         """Emit a cluster event attributed to this pod."""

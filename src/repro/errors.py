@@ -24,9 +24,11 @@ __all__ = [
     "NetworkError",
     "NoRouteError",
     "TransferError",
+    "TransientServerError",
     "QueueEmptyError",
     "WorkflowError",
     "StepFailedError",
+    "StepTimeoutError",
     "ValidationError",
     "MLError",
     "ShapeError",
@@ -102,6 +104,10 @@ class TransferError(ReproError):
     """A data-transfer job (THREDDS download, queue pop, merge) failed."""
 
 
+class TransientServerError(TransferError):
+    """A retryable server-side failure (5xx, timeout, mid-stream reset)."""
+
+
 class QueueEmptyError(TransferError):
     """A non-blocking queue pop found no message."""
 
@@ -117,6 +123,14 @@ class StepFailedError(WorkflowError):
         super().__init__(f"step {step_name!r} failed: {reason}")
         self.step_name = step_name
         self.reason = reason
+
+
+class StepTimeoutError(StepFailedError):
+    """A workflow step attempt exceeded its ``timeout_s`` budget."""
+
+    def __init__(self, step_name: str, timeout_s: float):
+        super().__init__(step_name, f"attempt exceeded timeout of {timeout_s}s")
+        self.timeout_s = timeout_s
 
 
 class ValidationError(WorkflowError, ValueError):

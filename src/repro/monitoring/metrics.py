@@ -113,5 +113,13 @@ class MetricRegistry:
     def counter_total(self, name: str, labels: Labels | None = None) -> float:
         return self._counter_totals.get((name, _label_key(labels)), 0.0)
 
+    def counter_sum(self, name: str) -> float:
+        """A counter's total summed across every label set."""
+        return sum(
+            total
+            for (n, _), total in self._counter_totals.items()
+            if n == name
+        )
+
     def __repr__(self) -> str:  # pragma: no cover
         return f"<MetricRegistry {len(self._series)} series>"

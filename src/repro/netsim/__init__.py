@@ -23,6 +23,7 @@ workers, and the Figure-4 network-usage shapes all emerge from this model.
 
 from repro.netsim.topology import Link, Site, Topology, build_prp_topology
 from repro.netsim.flows import CapacityResource, Flow, FlowSimulator
+from repro.netsim.faults import NetworkFaultInjector
 
 __all__ = [
     "Site",
@@ -32,4 +33,5 @@ __all__ = [
     "CapacityResource",
     "Flow",
     "FlowSimulator",
+    "NetworkFaultInjector",
 ]

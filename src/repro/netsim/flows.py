@@ -37,9 +37,13 @@ class CapacityResource:
 
     ``allocated_rate`` is refreshed by the flow engine on every
     re-convergence, so monitoring can sample instantaneous utilization.
+
+    A ``blocked`` resource (a failed link) pins every flow crossing it to
+    rate zero without tearing the flow down — the fluid analog of TCP
+    stalling on a dead path and resuming when it heals.
     """
 
-    __slots__ = ("name", "capacity", "allocated_rate")
+    __slots__ = ("name", "capacity", "allocated_rate", "blocked")
 
     def __init__(self, name: str, capacity: float):
         if capacity <= 0:
@@ -47,6 +51,17 @@ class CapacityResource:
         self.name = name
         self.capacity = float(capacity)
         self.allocated_rate = 0.0
+        self.blocked = False
+
+    def set_capacity(self, capacity: float) -> None:
+        """Change capacity in place (fault injection: degraded links).
+
+        Callers must poke the flow engine (``FlowSimulator.recompute``)
+        so in-flight rates re-converge at the current simulation time.
+        """
+        if capacity <= 0:
+            raise NetworkError(f"resource {self.name!r} needs positive capacity")
+        self.capacity = float(capacity)
 
     @property
     def utilization(self) -> float:
@@ -69,6 +84,7 @@ class Flow:
         "rate",
         "event",
         "start_time",
+        "handle",
     )
 
     def __init__(
@@ -87,6 +103,9 @@ class Flow:
         self.rate = 0.0
         self.event = event
         self.start_time = start_time
+        #: The event ``FlowSimulator.transfer`` returned for this flow
+        #: (differs from ``event`` when one-way latency is modelled).
+        self.handle: Event = event
 
     def __repr__(self) -> str:  # pragma: no cover
         return f"<Flow {self.name or self.id} {self.remaining:.3g}B left @ {self.rate:.3g}B/s>"
@@ -96,12 +115,15 @@ def max_min_rates(flows: _t.Sequence[Flow]) -> dict[Flow, float]:
     """Progressive-filling max-min fair allocation.
 
     Returns the fair rate for every flow.  Flows with an empty resource
-    list are unconstrained (rate ``inf`` — local copies).
+    list are unconstrained (rate ``inf`` — local copies); flows crossing
+    a ``blocked`` resource are stalled at rate 0.
     """
     rates: dict[Flow, float] = {}
     active: set[Flow] = set()
     for flow in flows:
-        if flow.resources:
+        if any(res.blocked for res in flow.resources):
+            rates[flow] = 0.0
+        elif flow.resources:
             active.add(flow)
             rates[flow] = 0.0
         else:
@@ -157,10 +179,12 @@ class FlowSimulator:
     def __init__(self, env: Environment):
         self.env = env
         self._flows: set[Flow] = set()
+        self._handles: dict[Event, Flow] = {}
         self._wake: Event | None = None
         self._proc = env.process(self._coordinator(), name="flowsim")
         self.completed_count = 0
         self.bytes_moved = 0.0
+        self.cancelled_count = 0
 
     # -- public API --------------------------------------------------------------
 
@@ -196,13 +220,48 @@ class FlowSimulator:
         if latency_s > 0:
 
             def _delayed(env=self.env):
-                yield flow_done
+                try:
+                    yield flow_done
+                except NetworkError as exc:
+                    # Flow was cancelled; forward the failure to the handle.
+                    if not done.triggered:
+                        done.defuse()
+                        done.fail(exc)
+                    return
                 yield env.timeout(latency_s)
                 done.succeed(flow)
 
             self.env.process(_delayed(), name=f"flow:{name}:latency")
+            flow.handle = done
+            self._handles[done] = flow
             return done
+        self._handles[flow_done] = flow
         return flow_done
+
+    def cancel(self, handle: Event) -> bool:
+        """Abort the in-flight flow behind a ``transfer()`` handle.
+
+        The handle event fails with :class:`~repro.errors.NetworkError`
+        (defused if nobody is watching), the flow's partial bytes are
+        discarded, and shared capacity is released immediately.  Returns
+        False when the handle is unknown or the flow already finished.
+        """
+        flow = self._handles.pop(handle, None)
+        if flow is None or flow not in self._flows:
+            return False
+        self._flows.discard(flow)
+        self.cancelled_count += 1
+        for res in flow.resources:
+            res.allocated_rate = sum(
+                f.rate for f in self._flows if res in f.resources
+            )
+        if not flow.event.triggered:
+            flow.event.defuse()
+            flow.event.fail(
+                NetworkError(f"flow {flow.name or flow.id} cancelled")
+            )
+        self._poke()
+        return True
 
     @property
     def active_flows(self) -> int:
@@ -211,6 +270,16 @@ class FlowSimulator:
     def instantaneous_rate(self, resource: CapacityResource) -> float:
         """Current aggregate rate through ``resource`` (bytes/s)."""
         return resource.allocated_rate
+
+    def recompute(self) -> None:
+        """Re-converge rates now — call after any capacity change.
+
+        ``Topology.fail_link``/``set_capacity`` mutate resources without
+        knowing about the flow engine; fault injectors call this so
+        in-flight transfers see the new capacities at the current instant
+        (elapsed bytes are accounted at the old rates first).
+        """
+        self._poke()
 
     # -- engine -------------------------------------------------------------------
 
@@ -254,7 +323,8 @@ class FlowSimulator:
             )
             self._wake = self.env.event()
             started = self.env.now
-            if horizon == float("inf"):  # pragma: no cover - defensive
+            if horizon == float("inf"):
+                # Every flow is stalled (blocked path): sleep until poked.
                 yield self._wake
             else:
                 yield self.env.any_of([self.env.timeout(horizon), self._wake])
@@ -272,6 +342,7 @@ class FlowSimulator:
                     finished.append(flow)
             for flow in finished:
                 self._flows.remove(flow)
+                self._handles.pop(flow.handle, None)
                 self.completed_count += 1
                 self.bytes_moved += flow.nbytes
                 flow.event.succeed(flow)

@@ -48,6 +48,13 @@ class Link:
     def key(self) -> frozenset:
         return frozenset((self.a, self.b))
 
+    def set_capacity(self, gbps: float) -> None:
+        """Re-rate the link in place (fault injection: degradation)."""
+        if gbps <= 0:
+            raise NetworkError(f"link {self.a}-{self.b} needs positive capacity")
+        self.gbps = float(gbps)
+        self.resource.set_capacity(gbps_to_Bps(gbps))
+
 
 class Topology:
     """Sites + links + attached hosts, with shortest-path routing.
@@ -110,30 +117,56 @@ class Topology:
         except KeyError:
             raise NetworkError(f"unknown host {host!r}") from None
 
-    def fail_link(self, a: str, b: str) -> None:
-        """Take a link down; routing immediately converges around it.
-
-        In-flight flows keep their (now stale) reservation — the fluid
-        model's analog of TCP riding out a brief path change — but every
-        new route avoids the failed link.
-        """
+    def get_link(self, a: str, b: str) -> Link:
+        """The link between two endpoints (sites or host/site)."""
         link = self.links.get(frozenset((a, b)))
         if link is None:
             raise NetworkError(f"no link {a}<->{b}")
+        return link
+
+    def fail_link(self, a: str, b: str) -> None:
+        """Take a link down; routing immediately converges around it.
+
+        The link's capacity resource is marked ``blocked``, so in-flight
+        flows crossing it stall at rate zero (and resume on restore) —
+        every new route avoids the failed link.  Callers driving a live
+        :class:`~repro.netsim.flows.FlowSimulator` should follow up with
+        ``flowsim.recompute()`` so stalls take effect mid-flow.
+        """
+        link = self.get_link(a, b)
         if not link.up:
             return
         link.up = False
+        link.resource.blocked = True
         self._graph.remove_edge(a, b)
 
     def restore_link(self, a: str, b: str) -> None:
         """Bring a failed link back into the routing graph."""
-        link = self.links.get(frozenset((a, b)))
-        if link is None:
-            raise NetworkError(f"no link {a}<->{b}")
+        link = self.get_link(a, b)
         if link.up:
             return
         link.up = True
+        link.resource.blocked = False
         self._graph.add_edge(a, b, link=link, weight=link.latency_s)
+
+    def reachable(self, src: str, dst: str) -> bool:
+        """True when a route currently exists between two endpoints."""
+        try:
+            self.route(src, dst)
+        except NoRouteError:
+            return False
+        return True
+
+    def wan_links(self) -> list[Link]:
+        """Site-to-site links (excludes host access links), stable order."""
+        return sorted(
+            (
+                link
+                for link in self.links.values()
+                if link.a in self.sites and link.b in self.sites
+            ),
+            key=lambda link: (link.a, link.b),
+        )
 
     def route(self, src: str, dst: str) -> list[Link]:
         """Latency-shortest path between two hosts or sites (up links only)."""

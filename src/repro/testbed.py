@@ -36,7 +36,7 @@ from repro.monitoring import MetricRegistry, Sampler
 from repro.netsim import FlowSimulator, Topology, build_prp_topology
 from repro.sim import Environment, SeededRNG
 from repro.storage import CephCluster, CephFS
-from repro.transfer import ThreddsServer
+from repro.transfer import ThreddsServer, TransientFaultInjector
 
 __all__ = ["NautilusTestbed", "build_nautilus_testbed"]
 
@@ -81,6 +81,39 @@ class NautilusTestbed:
     def total_gpus(self) -> int:
         return int(self.cluster.total_capacity()["gpu"])
 
+    def network_faults(self) -> "NetworkFaultInjector":
+        """A fault injector bound to this testbed's network and metrics."""
+        from repro.netsim import NetworkFaultInjector
+
+        return NetworkFaultInjector(
+            self.topology,
+            flowsim=self.flowsim,
+            env=self.env,
+            registry=self.registry,
+        )
+
+    def enable_node_leases(
+        self, interval_s: float = 15.0, grace_periods: int = 3
+    ) -> None:
+        """Turn on node heartbeats backed by live topology reachability.
+
+        A node's heartbeat reaches the control plane (UCSD) only while a
+        network route exists, so partitioning a site makes its nodes go
+        NotReady after ``grace_periods`` missed beats — the same
+        fail/reschedule path as a crashed node — and rejoin when the
+        partition heals.  Hosts unknown to the topology are treated as
+        reachable (their heartbeats don't traverse the modelled WAN).
+        """
+
+        def _reachable(name: str) -> bool:
+            if name not in self.topology.hosts:
+                return True
+            return self.topology.reachable(name, "UCSD")
+
+        self.cluster.enable_node_leases(
+            _reachable, interval_s=interval_s, grace_periods=grace_periods
+        )
+
     def figure1_summary(self) -> dict[str, object]:
         """The Figure-1 inventory: sites, nodes, GPUs, storage."""
         net = self.topology.summary()
@@ -114,6 +147,7 @@ def build_nautilus_testbed(
     sampler_interval: float = 15.0,
     ml_grid: GridSpec | None = None,
     scheduler_strategy: SchedulingStrategy = SchedulingStrategy.SPREAD,
+    transfer_faults: TransientFaultInjector | None = None,
 ) -> NautilusTestbed:
     """Assemble a Nautilus deployment.
 
@@ -133,6 +167,11 @@ def build_nautilus_testbed(
         Archive-server egress (see module calibration note).
     ml_grid:
         Grid for the real (laptop-scale) ML runs.
+    transfer_faults:
+        Optional :class:`~repro.transfer.TransientFaultInjector` wired
+        into the THREDDS server: catalog and stream requests then fail
+        transiently at its seeded rates, exercising the download
+        retry/backoff machinery.
     """
     if scale <= 0 or scale > 1.0:
         raise ValueError(f"scale must be in (0, 1], got {scale}")
@@ -177,9 +216,17 @@ def build_nautilus_testbed(
     grid = ml_grid or GridSpec(nlat=45, nlon=72, nlev=8)
     # The server can serve real (laptop-scale) granule content too.
     thredds = ThreddsServer(
-        archive, host="its-dtn-02", generator=MerraGenerator(grid, seed=seed)
+        archive,
+        host="its-dtn-02",
+        generator=MerraGenerator(grid, seed=seed),
+        fault_injector=transfer_faults,
     )
+    if transfer_faults is not None and transfer_faults.env is None:
+        transfer_faults.env = env
     topology.attach_host("its-dtn-02", "UCSD", nic_gbps=thredds_nic_gbps)
+    # Cluster-level resilience counters (liveness restarts, lease
+    # expirations) land in the shared registry.
+    cluster.metrics = registry
 
     # -- standing monitoring probes ----------------------------------------------------
     for node in cluster.nodes.values():

@@ -24,6 +24,7 @@ from repro.transfer.queue import RedisQueue, QueueMessage
 from repro.transfer.thredds import ThreddsServer, SubsetRequest
 from repro.transfer.aria2 import Aria2Downloader, DownloadStats
 from repro.transfer.merge import MergePlanner, merged_hdf_size, merge_cpu_seconds
+from repro.transfer.retry import RetryPolicy, TransientFaultInjector, retry_call
 
 __all__ = [
     "RedisQueue",
@@ -35,4 +36,7 @@ __all__ = [
     "MergePlanner",
     "merged_hdf_size",
     "merge_cpu_seconds",
+    "RetryPolicy",
+    "TransientFaultInjector",
+    "retry_call",
 ]

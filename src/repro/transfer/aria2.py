@@ -15,10 +15,23 @@ from __future__ import annotations
 import dataclasses
 import typing as _t
 
+import numpy as np
+
+from repro.errors import (
+    NetworkError,
+    NoRouteError,
+    TransferError,
+    TransientServerError,
+)
 from repro.netsim.flows import FlowSimulator
 from repro.netsim.topology import Topology
 from repro.sim import Environment, Resource
+from repro.sim.rng import derive_seed
+from repro.transfer.retry import RetryPolicy, TransientFaultInjector
 from repro.transfer.thredds import SubsetRequest, ThreddsServer
+
+if _t.TYPE_CHECKING:  # pragma: no cover
+    from repro.monitoring.metrics import MetricRegistry
 
 __all__ = ["DownloadStats", "Aria2Downloader"]
 
@@ -54,6 +67,22 @@ class Aria2Downloader:
         The worker's hostname on the topology (its NIC bounds throughput).
     connections:
         Maximum concurrent downloads (aria2's ``-j``; the paper uses 20).
+    retry_policy:
+        Optional :class:`~repro.transfer.retry.RetryPolicy`.  Without
+        one, any transfer fault propagates on first occurrence (aria2's
+        ``--max-tries=1``); with one, transient server errors, stalls,
+        resets, and routing outages back off and retry, and each request
+        honours the policy's per-request ``deadline_s``.
+    fault_injector:
+        Optional transient-fault source; defaults to the server's own
+        injector so one seeded schedule covers catalog and stream.
+    metrics:
+        Optional registry; retries/failures are exported as
+        ``transfer_retries_total`` / ``transfer_failures_total``.
+    on_progress:
+        Optional zero-arg callback invoked after each completed file —
+        the hook pods use to heartbeat their liveness probe while a long
+        batch is moving.
     """
 
     def __init__(
@@ -65,6 +94,11 @@ class Aria2Downloader:
         host: str,
         connections: int = 20,
         coalesce_threshold: int = 0,
+        retry_policy: RetryPolicy | None = None,
+        fault_injector: TransientFaultInjector | None = None,
+        metrics: "MetricRegistry | None" = None,
+        on_progress: _t.Callable[[], None] | None = None,
+        seed: int = 0,
     ):
         if connections < 1:
             raise ValueError("connections must be >= 1")
@@ -80,40 +114,157 @@ class Aria2Downloader:
         #: overhead-exact, but with O(connections) instead of O(files)
         #: simulator events.  Essential at the paper's 112k-file scale.
         self.coalesce_threshold = coalesce_threshold
+        self.retry_policy = retry_policy
+        self.fault_injector = (
+            fault_injector
+            if fault_injector is not None
+            else getattr(server, "fault_injector", None)
+        )
+        self.metrics = metrics
+        self.on_progress = on_progress
+        self._rng = np.random.default_rng(derive_seed(seed, "aria2", host))
         self._slots = Resource(env, capacity=connections)
         self.total_stats = DownloadStats()
+        self.retries_total = 0
+        self.failures_total = 0
+
+    # -- fault-aware request engine -----------------------------------------
+
+    def _count(self, metric: str) -> None:
+        if self.metrics is not None:
+            self.metrics.inc_counter(metric, 1.0, {"host": self.host})
+
+    def _transfer_or_deadline(
+        self, nbytes: float, name: str, deadline_at: float | None
+    ):
+        """One flow across the server->host path, bounded by the
+        per-request deadline: a flow still in the air at the deadline is
+        cancelled (capacity released) and the attempt fails."""
+        path = self.topology.path_resources(self.server.host, self.host)
+        latency = self.topology.path_latency(self.server.host, self.host)
+        done = self.flowsim.transfer(
+            path, nbytes, latency_s=latency, name=name
+        )
+        if deadline_at is None:
+            yield done
+            return
+        budget = deadline_at - self.env.now
+        if budget <= 0:
+            self.flowsim.cancel(done)
+            raise TransferError(f"{name}: request deadline exhausted")
+        yield self.env.any_of([done, self.env.timeout(budget)])
+        if not done.triggered:
+            self.flowsim.cancel(done)
+            raise TransferError(
+                f"{name}: deadline of {self.retry_policy.deadline_s}s exceeded"
+            )
+
+    def _attempt(
+        self,
+        state: dict,
+        name: str,
+        overhead_s: float,
+        deadline_at: float | None,
+    ):
+        """One try at moving ``state['remaining']`` bytes, with an
+        injected transient fault when the schedule says so.  Resets keep
+        their partial bytes: the next attempt resumes from the offset,
+        exactly like ``aria2c -c``."""
+        fault = (
+            self.fault_injector.draw()
+            if self.fault_injector is not None
+            else None
+        )
+        if fault is not None and fault[0] == "error":
+            yield self.env.timeout(overhead_s)
+            raise TransientServerError(f"{name}: HTTP 503 from {self.server.host}")
+        if fault is not None and fault[0] == "timeout":
+            stall = fault[1]
+            if deadline_at is not None:
+                stall = min(stall, max(0.0, deadline_at - self.env.now))
+            yield self.env.timeout(overhead_s + stall)
+            raise TransientServerError(
+                f"{name}: request stalled {fault[1]}s and timed out"
+            )
+        yield self.env.timeout(overhead_s)
+        if fault is not None and fault[0] == "reset":
+            part = state["remaining"] * fault[1]
+            yield from self._transfer_or_deadline(
+                part, f"{name}:partial", deadline_at
+            )
+            state["remaining"] -= part
+            raise TransientServerError(
+                f"{name}: connection reset with {state['remaining']:.0f}B left"
+            )
+        yield from self._transfer_or_deadline(
+            state["remaining"], name, deadline_at
+        )
+        state["remaining"] = 0.0
+
+    def _fetch(self, nbytes: float, name: str, overhead_s: float):
+        """One logical request under the retry policy (generator)."""
+        policy = self.retry_policy
+        attempts = policy.max_attempts if policy is not None else 1
+        deadline_at = (
+            self.env.now + policy.deadline_s
+            if policy is not None and policy.deadline_s is not None
+            else None
+        )
+        state = {"remaining": float(nbytes)}
+        prev_delay: float | None = None
+        for attempt in range(attempts):
+            try:
+                yield from self._attempt(state, name, overhead_s, deadline_at)
+                return
+            except (TransientServerError, NoRouteError, NetworkError) as exc:
+                if attempt + 1 >= attempts:
+                    self.failures_total += 1
+                    self._count("transfer_failures_total")
+                    raise TransferError(
+                        f"{name}: giving up after {attempt + 1} attempts: {exc}"
+                    ) from exc
+                delay = policy.backoff(attempt, self._rng, prev_delay) if policy else 0.0
+                prev_delay = delay
+                if deadline_at is not None and self.env.now + delay >= deadline_at:
+                    self.failures_total += 1
+                    self._count("transfer_failures_total")
+                    raise TransferError(
+                        f"{name}: retry budget exhausted after "
+                        f"{attempt + 1} attempts: {exc}"
+                    ) from exc
+                self.retries_total += 1
+                self._count("transfer_retries_total")
+                yield self.env.timeout(delay)
 
     def _download_one(self, request: SubsetRequest):
         """One connection: overhead + flow across the server->host path."""
         with self._slots.request() as slot:
             yield slot
-            yield self.env.timeout(self.server.request_overhead_s)
-            path = self.topology.path_resources(self.server.host, self.host)
-            yield self.flowsim.transfer(
-                path,
+            yield from self._fetch(
                 request.nbytes,
-                latency_s=self.topology.path_latency(self.server.host, self.host),
-                name=f"aria2:{self.host}:{request.granule.name}",
+                f"aria2:{self.host}:{request.granule.name}",
+                self.server.request_overhead_s,
             )
         self.total_stats.files += 1
         self.total_stats.bytes += request.nbytes
+        if self.on_progress is not None:
+            self.on_progress()
 
     def _download_stream(self, requests: _t.Sequence[SubsetRequest]):
         """One connection streaming many files back-to-back: summed
         request overheads + one flow carrying the combined payload."""
+        total = sum(r.nbytes for r in requests)
         with self._slots.request() as slot:
             yield slot
-            yield self.env.timeout(self.server.request_overhead_s * len(requests))
-            path = self.topology.path_resources(self.server.host, self.host)
-            total = sum(r.nbytes for r in requests)
-            yield self.flowsim.transfer(
-                path,
+            yield from self._fetch(
                 total,
-                latency_s=self.topology.path_latency(self.server.host, self.host),
-                name=f"aria2-stream:{self.host}:{len(requests)}f",
+                f"aria2-stream:{self.host}:{len(requests)}f",
+                self.server.request_overhead_s * len(requests),
             )
         self.total_stats.files += len(requests)
         self.total_stats.bytes += total
+        if self.on_progress is not None:
+            self.on_progress()
 
     def download_batch(self, requests: _t.Sequence[SubsetRequest]):
         """Generator process: download all ``requests`` with up to

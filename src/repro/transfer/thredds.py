@@ -20,7 +20,10 @@ import dataclasses
 import typing as _t
 
 from repro.data.catalog import GranuleInfo, MerraArchive
-from repro.errors import TransferError
+from repro.errors import TransferError, TransientServerError
+
+if _t.TYPE_CHECKING:  # pragma: no cover
+    from repro.transfer.retry import TransientFaultInjector
 
 __all__ = ["SubsetRequest", "ThreddsServer"]
 
@@ -47,6 +50,11 @@ class ThreddsServer:
         lived at ``its-dtn-02.prism.optiputer.net``).
     request_overhead_s:
         Server-side latency per request (catalog lookup + subset setup).
+    fault_injector:
+        Optional :class:`~repro.transfer.retry.TransientFaultInjector`;
+        when armed, catalog/subset calls raise
+        :class:`~repro.errors.TransientServerError` at the injector's
+        seeded rate, and downloaders consult it for stream faults.
     """
 
     #: Variables the subset service can extract (IVT inputs).
@@ -58,6 +66,7 @@ class ThreddsServer:
         host: str = "its-dtn-02",
         request_overhead_s: float = 0.05,
         generator: object | None = None,
+        fault_injector: "TransientFaultInjector | None" = None,
     ):
         self.archive = archive
         self.host = host
@@ -65,8 +74,15 @@ class ThreddsServer:
         #: Optional :class:`~repro.data.merra.MerraGenerator` enabling
         #: :meth:`open_granule` to serve real array content.
         self.generator = generator
+        self.fault_injector = fault_injector
         self.requests_served = 0
         self.bytes_served = 0.0
+        self.errors_served = 0
+
+    def _maybe_fail(self, what: str) -> None:
+        if self.fault_injector is not None and self.fault_injector.server_error():
+            self.errors_served += 1
+            raise TransientServerError(f"THREDDS {self.host}: 503 on {what}")
 
     # -- catalog ------------------------------------------------------------------
 
@@ -90,6 +106,12 @@ class ThreddsServer:
         ``variables=None`` fetches the whole file; naming a subset of
         :data:`SUBSET_VARIABLES` fetches only those fields' bytes.
         """
+        self._maybe_fail(f"resolve({index})")
+        return self._resolve_one(index, variables)
+
+    def _resolve_one(
+        self, index: int, variables: _t.Sequence[str] | None = None
+    ) -> SubsetRequest:
         granule = self.archive.granule(index)
         if variables is None:
             nbytes = granule.full_bytes
@@ -118,8 +140,13 @@ class ThreddsServer:
     def resolve_many(
         self, indices: _t.Sequence[int], variables: _t.Sequence[str] | None = None
     ) -> list[SubsetRequest]:
-        """Resolve a manifest chunk's worth of granules."""
-        return [self.resolve(i, variables) for i in indices]
+        """Resolve a manifest chunk's worth of granules.
+
+        One server round-trip: the transient-fault draw happens once for
+        the whole chunk, not per granule.
+        """
+        self._maybe_fail(f"resolve_many({len(indices)} granules)")
+        return [self._resolve_one(i, variables) for i in indices]
 
     # -- content service ------------------------------------------------------------
 
@@ -136,6 +163,7 @@ class ThreddsServer:
                 "this THREDDS server has no data generator attached "
                 "(catalog-only mode)"
             )
+        self._maybe_fail(f"open_granule({index})")
         granule_info = self.archive.granule(index)  # validates the index
         granule = self.generator.granule(index, name=granule_info.name)
         self.requests_served += 1

@@ -31,6 +31,11 @@ from repro.workflow.connect_steps import (
     VisualizationStep,
     build_connect_workflow,
 )
+from repro.workflow.persistence import (
+    WorkflowCheckpoint,
+    load_report,
+    save_report,
+)
 from repro.workflow.ppods import PPoDSSession, StepTest
 from repro.workflow.kepler import KeplerSession
 from repro.workflow.suite import run_robustness_suite, RobustnessReport
@@ -52,6 +57,9 @@ __all__ = [
     "InferenceStep",
     "VisualizationStep",
     "build_connect_workflow",
+    "WorkflowCheckpoint",
+    "save_report",
+    "load_report",
     "PPoDSSession",
     "StepTest",
     "KeplerSession",

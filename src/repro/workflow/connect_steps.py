@@ -32,7 +32,13 @@ import typing as _t
 
 import numpy as np
 
-from repro.cluster import ContainerSpec, JobSpec, PodSpec, ResourceRequirements
+from repro.cluster import (
+    ContainerSpec,
+    JobSpec,
+    LivenessProbe,
+    PodSpec,
+    ResourceRequirements,
+)
 from repro.data.merra import PAPER_GRID
 from repro.errors import ProcessKilled, QueueEmptyError
 from repro.ml import (
@@ -43,7 +49,14 @@ from repro.ml import (
     voxel_metrics,
 )
 from repro.ml.inference import split_shards
-from repro.transfer import Aria2Downloader, MergePlanner, RedisQueue
+from repro.sim.rng import derive_seed
+from repro.transfer import (
+    Aria2Downloader,
+    MergePlanner,
+    RedisQueue,
+    RetryPolicy,
+    retry_call,
+)
 from repro.workflow.step import StepContext, WorkflowStep
 from repro.workflow.workflow import Workflow
 
@@ -96,6 +109,12 @@ class DownloadStep(WorkflowStep):
         "worker_cpu": 4,
         "worker_memory": "21G",
         "target_pool": "merra",
+        # Resilience knobs: transfer retry policy (None -> defaults) and
+        # an optional per-worker liveness heartbeat timeout — a worker
+        # stalled behind a partition longer than this is killed and
+        # restarted by the kubelet (charged to the Job's backoff_limit).
+        "retry_policy": None,
+        "worker_liveness_s": None,
         # Laptop-scale content materialization: fetch this many leading
         # granules' REAL arrays through the THREDDS subset service,
         # compute IVT, and store the stacked volume (+ the CONNECT label
@@ -120,6 +139,8 @@ class DownloadStep(WorkflowStep):
         n_workers = int(p["n_workers"])
         subset_vars = ("U", "V", "QV") if p["subset"] else None
         pool = str(p["target_pool"])
+        policy = p["retry_policy"] or RetryPolicy()
+        liveness_s = p["worker_liveness_s"]
 
         queue = RedisQueue(env, name=f"{ctx.namespace}-downloads")
         n_chunks = max(1, math.ceil(len(tb.archive) / int(p["chunk_files"])))
@@ -160,6 +181,13 @@ class DownloadStep(WorkflowStep):
                     host=host,
                     connections=int(p["connections"]),
                     coalesce_threshold=int(p["coalesce_files"]),
+                    retry_policy=policy,
+                    metrics=tb.registry,
+                    on_progress=pod_ctx.heartbeat,
+                    seed=tb.seed,
+                )
+                resolve_rng = np.random.default_rng(
+                    derive_seed(tb.seed, "resolve", worker)
                 )
                 planner = MergePlanner(files_per_merge=int(p["files_per_merge"]))
                 try:
@@ -169,7 +197,16 @@ class DownloadStep(WorkflowStep):
                         except QueueEmptyError:
                             break
                         indices = list(msg.body)
-                        requests = tb.thredds.resolve_many(indices, subset_vars)
+                        # Catalog lookups see the same transient 503s as
+                        # streams; retry them under the same policy.
+                        requests = yield from retry_call(
+                            env,
+                            lambda: tb.thredds.resolve_many(
+                                indices, subset_vars
+                            ),
+                            policy,
+                            resolve_rng,
+                        )
                         ctx.gauge("step1_worker_cpu", 0.5, {"worker": worker})
                         stats = yield from downloader.download_batch(requests)
                         sizes = {
@@ -189,6 +226,7 @@ class DownloadStep(WorkflowStep):
                                 client_host=host,
                             )
                             merged_objects.append(plan.output_name)
+                            pod_ctx.heartbeat()
                         queue.ack(worker, msg)
                         bytes_downloaded[0] += stats.bytes
                         ctx.counter(
@@ -203,8 +241,14 @@ class DownloadStep(WorkflowStep):
                         )
                         ctx.gauge("step1_worker_cpu", 0.5, {"worker": worker})
                 except ProcessKilled:
-                    # Crash/NodeLost: put unacked work back for the
-                    # replacement pod (§III-A's fault-tolerance story).
+                    # Crash/NodeLost/LivenessFailed: put unacked work back
+                    # for the replacement pod (§III-A's fault tolerance).
+                    queue.recover(worker)
+                    raise
+                except Exception:
+                    # A terminal transfer failure crashes this pod; its
+                    # in-flight chunk must go back on the queue or the
+                    # restarted worker would never see it again.
                     queue.recover(worker)
                     raise
                 ctx.gauge("step1_worker_cpu", 0.0, {"worker": worker})
@@ -223,7 +267,15 @@ class DownloadStep(WorkflowStep):
                             cpu=p["worker_cpu"], memory=p["worker_memory"]
                         ),
                     )
-                ]
+                ],
+                liveness=(
+                    LivenessProbe(
+                        period_s=max(1.0, float(liveness_s) / 4.0),
+                        timeout_s=float(liveness_s),
+                    )
+                    if liveness_s is not None
+                    else None
+                ),
             )
 
         job = cluster.create_job(
@@ -247,10 +299,20 @@ class DownloadStep(WorkflowStep):
         content: dict[str, object] = {}
         nt = min(int(p["materialize_timesteps"]), len(tb.archive))
         if nt > 0 and tb.thredds.generator is not None:
-            fields = [
-                tb.thredds.open_granule(t, variables=subset_vars)
-                for t in range(nt)
-            ]
+            mat_rng = np.random.default_rng(
+                derive_seed(tb.seed, "materialize", ctx.namespace)
+            )
+            fields = []
+            for t in range(nt):
+                granule = yield from retry_call(
+                    env,
+                    lambda t=t: tb.thredds.open_granule(
+                        t, variables=subset_vars
+                    ),
+                    policy,
+                    mat_rng,
+                )
+                fields.append(granule)
             from repro.data.ivt import ivt_magnitude
 
             levels = tb.ml_grid.levels_hpa

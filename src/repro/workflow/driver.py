@@ -15,10 +15,13 @@ import dataclasses
 import typing as _t
 
 from repro.cluster.pod import Pod, PodPhase
-from repro.errors import StepFailedError
+from repro.errors import ProcessKilled, StepFailedError, StepTimeoutError, WorkflowError
 from repro.testbed import NautilusTestbed
 from repro.workflow.step import StepContext, StepReport
 from repro.workflow.workflow import Workflow
+
+if _t.TYPE_CHECKING:  # pragma: no cover - import cycle guard
+    from repro.workflow.persistence import WorkflowCheckpoint
 
 __all__ = ["WorkflowDriver", "WorkflowReport"]
 
@@ -101,7 +104,14 @@ class WorkflowDriver:
     def __init__(self, testbed: NautilusTestbed):
         self.testbed = testbed
 
-    def run(self, workflow: Workflow, fail_fast: bool = True) -> WorkflowReport:
+    def run(
+        self,
+        workflow: Workflow,
+        fail_fast: bool = True,
+        checkpoint: "WorkflowCheckpoint | None" = None,
+        resume_from: "WorkflowCheckpoint | None" = None,
+        deadline_s: float | None = None,
+    ) -> WorkflowReport:
         """Execute the workflow and return the report.
 
         Steps whose dependencies are all satisfied run **concurrently**
@@ -110,12 +120,49 @@ class WorkflowDriver:
         Each step runs in its own namespace ``<workflow>-<step>``; the
         report's resource columns are the measured peaks, not the
         declared requests.
+
+        Parameters
+        ----------
+        checkpoint:
+            When given, every successful step's report and artifacts are
+            recorded into it as the step completes — so a run killed by
+            ``deadline_s`` (or by the caller) leaves behind the exact
+            completed-step prefix.
+        resume_from:
+            A checkpoint from an earlier (possibly killed) run of the
+            *same* workflow: its completed steps are restored into the
+            report (flagged ``resumed=True``) without re-executing, and
+            their artifacts are handed to downstream steps as usual.
+        deadline_s:
+            Wall-clock (simulated) budget for the whole run.  When it
+            expires, every running step is interrupted and the partial
+            report is returned; combined with ``checkpoint`` this models
+            "the job got killed — resume it".
         """
         env = self.testbed.env
         start = env.now
         reports: list[StepReport] = []
         reports_by_name: dict[str, StepReport] = {}
         artifacts: dict[str, dict] = {}
+
+        resumed_done: set[str] = set()
+        if resume_from is not None:
+            if resume_from.workflow_name != workflow.name:
+                raise WorkflowError(
+                    f"checkpoint is for workflow {resume_from.workflow_name!r}, "
+                    f"not {workflow.name!r}"
+                )
+            for name in workflow.order:
+                if not resume_from.has(name):
+                    continue
+                report = resume_from.report_copy(name)
+                report.resumed = True
+                reports.append(report)
+                reports_by_name[name] = report
+                artifacts[name] = dict(resume_from.artifacts.get(name, {}))
+                resumed_done.add(name)
+                if checkpoint is not None and not checkpoint.has(name):
+                    checkpoint.record(report, artifacts[name])
 
         def _run_step(step):
             """Run one step with retries; returns (name, error|None)."""
@@ -136,15 +183,38 @@ class WorkflowDriver:
             error: str | None = None
             try:
                 for attempt in range(step.max_retries + 1):
+                    attempt_proc = env.process(
+                        step.execute(ctx),
+                        name=f"step:{step.name}#{attempt}",
+                    )
                     try:
-                        yield env.process(
-                            step.execute(ctx),
-                            name=f"step:{step.name}#{attempt}",
-                        )
+                        if step.timeout_s is None:
+                            yield attempt_proc
+                        else:
+                            # Race the attempt against its budget; a hung
+                            # attempt (e.g. workers stuck behind a network
+                            # partition) is killed and counted as a failure.
+                            yield env.any_of(
+                                [attempt_proc, env.timeout(step.timeout_s)]
+                            )
+                            if attempt_proc.is_alive:
+                                attempt_proc.interrupt(
+                                    f"step {step.name!r} attempt {attempt} "
+                                    f"exceeded {step.timeout_s}s"
+                                )
+                                raise StepTimeoutError(step.name, step.timeout_s)
                         report.succeeded = True
                         report.retries = attempt
                         report.error = ""  # clear earlier attempts' errors
                         break
+                    except ProcessKilled:
+                        # The whole workflow is being cancelled (deadline):
+                        # take the live attempt down with us.
+                        if attempt_proc.is_alive:
+                            attempt_proc.interrupt("workflow cancelled")
+                        report.succeeded = False
+                        report.error = "cancelled"
+                        raise
                     except Exception as exc:  # noqa: BLE001
                         report.succeeded = False
                         report.error = repr(exc)
@@ -165,49 +235,72 @@ class WorkflowDriver:
                 if meter.on_phase in self.testbed.cluster.phase_hooks:
                     self.testbed.cluster.phase_hooks.remove(meter.on_phase)
             artifacts[step.name] = dict(report.artifacts)
+            if error is None and checkpoint is not None:
+                checkpoint.record(report, artifacts[step.name])
             return (step.name, error)
 
         def _run_all():
             pending = list(workflow.order)
             running: dict[str, object] = {}
-            done: set[str] = set()
+            done: set[str] = set(resumed_done)
             failed: set[str] = set()
-            while pending or running:
-                # Launch every step whose dependencies have succeeded.
-                for name in list(pending):
-                    step = workflow.steps[name]
-                    if any(dep in failed for dep in step.depends_on):
-                        pending.remove(name)  # upstream failed: skip
-                        continue
-                    if all(dep in done for dep in step.depends_on):
-                        pending.remove(name)
-                        report = StepReport(name=name)
-                        reports.append(report)
-                        reports_by_name[name] = report
-                        running[name] = env.process(
-                            _run_step(step), name=f"step-runner:{name}"
-                        )
-                if not running:
-                    break  # remaining steps are all blocked by failures
-                finished = yield env.any_of(list(running.values()))
-                for proc_event, value in finished.items():
-                    name, error = value
-                    running.pop(name, None)
-                    if error is None:
-                        done.add(name)
-                    else:
-                        failed.add(name)
-                        if fail_fast:
-                            # Let already-running siblings finish, then stop.
-                            if running:
-                                yield env.all_of(list(running.values()))
-                            raise StepFailedError(name, error)
+            try:
+                while pending or running:
+                    # Launch every step whose dependencies have succeeded.
+                    for name in list(pending):
+                        if name in done:  # restored from resume_from
+                            pending.remove(name)
+                            continue
+                        step = workflow.steps[name]
+                        if any(dep in failed for dep in step.depends_on):
+                            pending.remove(name)  # upstream failed: skip
+                            continue
+                        if all(dep in done for dep in step.depends_on):
+                            pending.remove(name)
+                            report = StepReport(name=name)
+                            reports.append(report)
+                            reports_by_name[name] = report
+                            running[name] = env.process(
+                                _run_step(step), name=f"step-runner:{name}"
+                            )
+                    if not running:
+                        break  # remaining steps are all blocked by failures
+                    finished = yield env.any_of(list(running.values()))
+                    for proc_event, value in finished.items():
+                        name, error = value
+                        running.pop(name, None)
+                        if error is None:
+                            done.add(name)
+                        else:
+                            failed.add(name)
+                            if fail_fast:
+                                # Let already-running siblings finish, then stop.
+                                if running:
+                                    yield env.all_of(list(running.values()))
+                                raise StepFailedError(name, error)
+            except ProcessKilled:
+                # Deadline/cancellation: propagate the kill to every
+                # running step runner so their reports close out.
+                for runner in running.values():
+                    if runner.is_alive:
+                        runner.interrupt("workflow cancelled")
+                raise
 
         proc = env.process(_run_all(), name=f"workflow:{workflow.name}")
         try:
-            env.run(until=proc)
+            if deadline_s is None:
+                env.run(until=proc)
+            else:
+                env.run(until=env.any_of([proc, env.timeout(deadline_s)]))
+                if proc.is_alive:
+                    proc.interrupt(f"workflow deadline after {deadline_s}s")
+                    env.run(until=proc)
         except StepFailedError:
             pass  # the failure is recorded in the step report
+        except ProcessKilled:
+            # Expected on a deadline kill: settle same-time interrupt
+            # cascades so every step report is closed before we return.
+            env.run(until=env.now)
         return WorkflowReport(
             workflow_name=workflow.name,
             steps=reports,

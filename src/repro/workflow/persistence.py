@@ -6,10 +6,17 @@ only works if measurements survive the session.  This module serializes
 and string artifacts round-trip exactly; arrays and other rich objects
 are summarized (shape/dtype/type) rather than dropped silently, so a
 reloaded report still tells you what the run produced.
+
+It also provides :class:`WorkflowCheckpoint`, the completed-step ledger
+behind ``WorkflowDriver.run(checkpoint=..., resume_from=...)``: each
+completed step's report and artifacts are recorded as it finishes, so a
+workflow killed mid-chaos can resume, skip the completed prefix, and
+still hand downstream steps their upstream artifacts.
 """
 
 from __future__ import annotations
 
+import copy
 import dataclasses
 import json
 import pathlib
@@ -17,10 +24,17 @@ import typing as _t
 
 import numpy as np
 
+from repro.errors import WorkflowError
 from repro.workflow.driver import WorkflowReport
 from repro.workflow.step import StepReport
 
-__all__ = ["report_to_dict", "report_from_dict", "save_report", "load_report"]
+__all__ = [
+    "report_to_dict",
+    "report_from_dict",
+    "save_report",
+    "load_report",
+    "WorkflowCheckpoint",
+]
 
 _FORMAT_VERSION = 1
 
@@ -52,6 +66,43 @@ def _sanitize(value: object) -> object:
     return {"__repr__": repr(value), "__type__": type(value).__name__}
 
 
+def _step_to_dict(s: StepReport) -> dict:
+    return {
+        "name": s.name,
+        "start_time": s.start_time,
+        "end_time": s.end_time,
+        "pods": s.pods,
+        "cpus": s.cpus,
+        "gpus": s.gpus,
+        "memory_bytes": s.memory_bytes,
+        "data_processed_bytes": s.data_processed_bytes,
+        "interactive": s.interactive,
+        "succeeded": s.succeeded,
+        "error": s.error,
+        "retries": s.retries,
+        "resumed": s.resumed,
+        "artifacts": _sanitize(s.artifacts),
+    }
+
+
+def _step_from_dict(raw: dict) -> StepReport:
+    step = StepReport(name=raw["name"])
+    step.start_time = raw["start_time"]
+    step.end_time = raw["end_time"]
+    step.pods = raw["pods"]
+    step.cpus = raw["cpus"]
+    step.gpus = raw["gpus"]
+    step.memory_bytes = raw["memory_bytes"]
+    step.data_processed_bytes = raw["data_processed_bytes"]
+    step.interactive = raw["interactive"]
+    step.succeeded = raw["succeeded"]
+    step.error = raw["error"]
+    step.retries = raw.get("retries", 0)
+    step.resumed = raw.get("resumed", False)
+    step.artifacts = dict(raw["artifacts"])
+    return step
+
+
 def report_to_dict(report: WorkflowReport) -> dict:
     """A JSON-safe dictionary of a workflow report."""
     return {
@@ -59,23 +110,7 @@ def report_to_dict(report: WorkflowReport) -> dict:
         "workflow_name": report.workflow_name,
         "total_duration_s": report.total_duration_s,
         "succeeded": report.succeeded,
-        "steps": [
-            {
-                "name": s.name,
-                "start_time": s.start_time,
-                "end_time": s.end_time,
-                "pods": s.pods,
-                "cpus": s.cpus,
-                "gpus": s.gpus,
-                "memory_bytes": s.memory_bytes,
-                "data_processed_bytes": s.data_processed_bytes,
-                "interactive": s.interactive,
-                "succeeded": s.succeeded,
-                "error": s.error,
-                "artifacts": _sanitize(s.artifacts),
-            }
-            for s in report.steps
-        ],
+        "steps": [_step_to_dict(s) for s in report.steps],
     }
 
 
@@ -84,24 +119,9 @@ def report_from_dict(data: dict) -> WorkflowReport:
     version = data.get("format_version")
     if version != _FORMAT_VERSION:
         raise ValueError(f"unsupported report format version: {version!r}")
-    steps = []
-    for raw in data["steps"]:
-        step = StepReport(name=raw["name"])
-        step.start_time = raw["start_time"]
-        step.end_time = raw["end_time"]
-        step.pods = raw["pods"]
-        step.cpus = raw["cpus"]
-        step.gpus = raw["gpus"]
-        step.memory_bytes = raw["memory_bytes"]
-        step.data_processed_bytes = raw["data_processed_bytes"]
-        step.interactive = raw["interactive"]
-        step.succeeded = raw["succeeded"]
-        step.error = raw["error"]
-        step.artifacts = dict(raw["artifacts"])
-        steps.append(step)
     return WorkflowReport(
         workflow_name=data["workflow_name"],
-        steps=steps,
+        steps=[_step_from_dict(raw) for raw in data["steps"]],
         total_duration_s=data["total_duration_s"],
     )
 
@@ -115,3 +135,97 @@ def save_report(report: WorkflowReport, path: "str | pathlib.Path") -> None:
 def load_report(path: "str | pathlib.Path") -> WorkflowReport:
     """Read a report back from :func:`save_report` output."""
     return report_from_dict(json.loads(pathlib.Path(path).read_text()))
+
+
+class WorkflowCheckpoint:
+    """Completed-step ledger for ``WorkflowDriver.run``.
+
+    The driver records each step's report and artifacts *as it
+    completes*; a run killed mid-way (deadline, chaos, operator Ctrl-C)
+    therefore leaves a checkpoint whose ``completed()`` set is exactly
+    the prefix that doesn't need re-executing.  Passing the checkpoint
+    back via ``run(resume_from=...)`` restores those reports (flagged
+    ``resumed=True``) and their artifacts, and only the remaining steps
+    run.
+
+    In memory the checkpoint keeps the *live* artifact objects (arrays,
+    model handles), so a same-session resume hands downstream steps the
+    real thing.  :meth:`save`/:meth:`load` round-trip through the same
+    sanitized JSON projection as :func:`save_report` — rich objects
+    degrade to summaries, which is still enough to skip completed steps
+    across sessions.
+    """
+
+    def __init__(
+        self,
+        workflow_name: str,
+        path: "str | pathlib.Path | None" = None,
+    ):
+        self.workflow_name = workflow_name
+        #: autosave target — when set, :meth:`record` rewrites this file
+        #: after every completed step.
+        self.path = pathlib.Path(path) if path is not None else None
+        self.reports: dict[str, StepReport] = {}
+        self.artifacts: dict[str, dict] = {}
+
+    def record(self, report: StepReport, artifacts: dict) -> None:
+        """Persist one completed step (overwrites a previous record)."""
+        if not report.succeeded:
+            raise WorkflowError(
+                f"checkpoint only records successful steps, got {report.name!r}"
+            )
+        self.reports[report.name] = copy.copy(report)
+        self.reports[report.name].artifacts = dict(report.artifacts)
+        self.artifacts[report.name] = dict(artifacts)
+        if self.path is not None:
+            self.save(self.path)
+
+    def completed(self) -> set[str]:
+        """Names of steps this checkpoint can skip on resume."""
+        return set(self.reports)
+
+    def has(self, name: str) -> bool:
+        return name in self.reports
+
+    def report_copy(self, name: str) -> StepReport:
+        """An independent copy of a recorded step report."""
+        report = copy.copy(self.reports[name])
+        report.artifacts = dict(self.reports[name].artifacts)
+        return report
+
+    def to_dict(self) -> dict:
+        return {
+            "format_version": _FORMAT_VERSION,
+            "workflow_name": self.workflow_name,
+            "steps": {name: _step_to_dict(r) for name, r in self.reports.items()},
+            "artifacts": {
+                name: _sanitize(arts) for name, arts in self.artifacts.items()
+            },
+        }
+
+    @classmethod
+    def from_dict(cls, data: dict) -> "WorkflowCheckpoint":
+        version = data.get("format_version")
+        if version != _FORMAT_VERSION:
+            raise ValueError(f"unsupported checkpoint format version: {version!r}")
+        ckpt = cls(workflow_name=data["workflow_name"])
+        for name, raw in data["steps"].items():
+            ckpt.reports[name] = _step_from_dict(raw)
+        for name, arts in data["artifacts"].items():
+            ckpt.artifacts[name] = dict(arts)
+        return ckpt
+
+    def save(self, path: "str | pathlib.Path") -> None:
+        pathlib.Path(path).write_text(
+            json.dumps(self.to_dict(), indent=2, sort_keys=True)
+        )
+
+    @classmethod
+    def load(cls, path: "str | pathlib.Path") -> "WorkflowCheckpoint":
+        ckpt = cls.from_dict(json.loads(pathlib.Path(path).read_text()))
+        ckpt.path = pathlib.Path(path)
+        return ckpt
+
+    def __repr__(self) -> str:
+        done = ", ".join(sorted(self.reports)) or "none"
+        return f"<WorkflowCheckpoint {self.workflow_name!r} completed: {done}>"

@@ -37,6 +37,7 @@ class StepReport:
     succeeded: bool = False
     error: str = ""
     retries: int = 0  # step-level re-executions that were needed
+    resumed: bool = False  # restored from a checkpoint, not re-executed
     artifacts: dict[str, object] = dataclasses.field(default_factory=dict)
 
     @property
@@ -129,11 +130,14 @@ class WorkflowStep:
         params: dict[str, object] | None = None,
         max_retries: int = 0,
         retry_delay_s: float = 30.0,
+        timeout_s: float | None = None,
     ):
         if not name:
             raise ValidationError("step needs a non-empty name")
         if max_retries < 0 or retry_delay_s < 0:
             raise ValidationError("retry settings must be non-negative")
+        if timeout_s is not None and timeout_s <= 0:
+            raise ValidationError("timeout_s must be positive")
         self.name = name
         self.image = image
         self.description = description
@@ -143,6 +147,10 @@ class WorkflowStep:
         #: its pods already get).
         self.max_retries = max_retries
         self.retry_delay_s = retry_delay_s
+        #: per-attempt wall-clock budget: an attempt still running after
+        #: ``timeout_s`` sim-seconds is killed and counts as a failure
+        #: (so it retries under ``max_retries`` like any crash).
+        self.timeout_s = timeout_s
         #: names of steps whose artifacts this step consumes
         self.depends_on: list[str] = []
 

@@ -1,0 +1,170 @@
+"""Acceptance tests for the fault-domain resilience layer.
+
+The headline guarantee: the CONNECT workflow completes under combined
+node failures, a network partition, and transient transfer faults, and
+its scientific outputs are identical to a fault-free run — the faults
+cost time, never correctness.  A killed run finishes via checkpoint
+resume without re-executing completed steps, and every fault schedule
+replays exactly under a fixed seed.
+"""
+
+import pytest
+
+from repro.chaos import ChaosMonkey
+from repro.testbed import build_nautilus_testbed
+from repro.transfer import TransientFaultInjector
+from repro.workflow import (
+    WorkflowCheckpoint,
+    WorkflowDriver,
+    build_connect_workflow,
+)
+
+#: Step artifacts that must not depend on fault injection.  Timing
+#: artifacts (durations, rates) legitimately differ; these must not.
+ROBUST_ARTIFACTS = ("files_downloaded", "voxel_f1", "n_shards", "model_object")
+
+_OVERRIDES = {
+    "download": {"worker_liveness_s": 600.0},
+    "training": {"real_train_steps": 30},
+    "inference": {"n_gpus": 8},
+}
+
+#: Cheap overrides for the checkpoint/resume scenario (no chaos there,
+#: so the run only needs to be long enough to kill mid-flight).
+_LIGHT_OVERRIDES = {
+    "download": {"materialize_timesteps": 8},
+    "training": {"real_train_steps": 20, "real_train_timesteps": 8},
+    "inference": {"n_gpus": 8, "real_test_timesteps": 8, "real_shards": 2},
+}
+
+
+def _run_connect(faulty: bool, chaos_seed: int = 11):
+    tf = (
+        TransientFaultInjector(
+            seed=5, error_rate=0.03, timeout_rate=0.0, reset_rate=0.03,
+            max_faults=25,
+        )
+        if faulty
+        else None
+    )
+    tb = build_nautilus_testbed(seed=4, scale=0.002, transfer_faults=tf)
+    tb.enable_node_leases()
+    monkey = (
+        ChaosMonkey(
+            tb,
+            mean_interval=300.0,
+            recovery_after=120.0,
+            include_partitions=True,
+            max_failures=4,
+            seed=chaos_seed,
+        )
+        if faulty
+        else None
+    )
+    wf = build_connect_workflow(overrides=_OVERRIDES)
+    report = WorkflowDriver(tb).run(wf)
+    return tb, report, monkey
+
+
+@pytest.fixture(scope="module")
+def baseline():
+    return _run_connect(faulty=False)
+
+
+@pytest.fixture(scope="module")
+def chaotic():
+    return _run_connect(faulty=True)
+
+
+class TestFaultsCostTimeNotCorrectness:
+    def test_connect_completes_under_combined_faults(self, baseline, chaotic):
+        _, rep0, _ = baseline
+        tb1, rep1, monkey = chaotic
+        assert rep0.succeeded
+        assert rep1.succeeded
+        # Every fault family actually fired.
+        assert tb1.thredds.fault_injector.total_injected > 0
+        assert monkey.failures_injected > 0
+        assert any(e.kind == "partition" for e in monkey.events)
+
+    def test_outputs_identical_to_fault_free_run(self, baseline, chaotic):
+        _, rep0, _ = baseline
+        _, rep1, _ = chaotic
+        for step in ("download", "training", "inference"):
+            a0 = rep0.step(step).artifacts
+            a1 = rep1.step(step).artifacts
+            for key in ROBUST_ARTIFACTS:
+                if key in a0:
+                    assert a0[key] == a1[key], (step, key)
+        # The faults were absorbed, not free: the run took longer.
+        assert rep1.total_duration_s > rep0.total_duration_s
+
+    def test_resilience_metrics_exported(self, chaotic):
+        tb, _, monkey = chaotic
+        counters = {
+            "chaos_node_failures_total": sum(
+                1 for e in monkey.events if e.kind == "node-fail"
+            ),
+            "network_partitions_total": sum(
+                1 for e in monkey.events if e.kind == "partition"
+            ),
+        }
+        for name, expected in counters.items():
+            assert tb.registry.counter_sum(name) == float(expected)
+        assert tb.registry.counter_sum("transfer_retries_total") > 0
+        # The partitioned site's nodes were declared NotReady by lease
+        # expiry (the monkey never calls fail_node for partitions).
+        assert tb.registry.counter_sum("node_lease_expirations_total") > 0
+
+    def test_fault_schedule_replays_exactly(self, chaotic):
+        _, rep1, monkey1 = chaotic
+        _, rep2, monkey2 = _run_connect(faulty=True)
+        trace1 = [(e.time, e.kind, e.target, e.reason) for e in monkey1.events]
+        trace2 = [(e.time, e.kind, e.target, e.reason) for e in monkey2.events]
+        assert trace1 == trace2
+        assert rep2.total_duration_s == rep1.total_duration_s
+        assert [s.duration_s for s in rep2.steps] == [
+            s.duration_s for s in rep1.steps
+        ]
+
+
+class TestKilledRunResumes:
+    def test_resume_finishes_without_reexecuting_download(self, tmp_path):
+        # Learn the fault-free step boundaries (deterministic per seed).
+        tb0 = build_nautilus_testbed(seed=9, scale=0.002)
+        rep0 = WorkflowDriver(tb0).run(
+            build_connect_workflow(overrides=_LIGHT_OVERRIDES)
+        )
+        assert rep0.succeeded
+        download_s = rep0.step("download").duration_s
+
+        # Kill a fresh run shortly after the download completes.
+        tb = build_nautilus_testbed(seed=9, scale=0.002)
+        ckpt = WorkflowCheckpoint("connect", path=tmp_path / "connect.json")
+        killed = WorkflowDriver(tb).run(
+            build_connect_workflow(overrides=_LIGHT_OVERRIDES),
+            checkpoint=ckpt,
+            deadline_s=download_s + 60.0,
+        )
+        assert not killed.succeeded
+        assert ckpt.completed() == {"download"}
+        served_before = tb.thredds.requests_served
+
+        # Resume on the same testbed: the archive is not contacted
+        # again, the remaining steps run, the workflow succeeds.
+        resumed = WorkflowDriver(tb).run(
+            build_connect_workflow(overrides=_LIGHT_OVERRIDES),
+            resume_from=WorkflowCheckpoint.load(tmp_path / "connect.json"),
+        )
+        assert resumed.succeeded
+        by_name = {s.name: s for s in resumed.steps}
+        assert by_name["download"].resumed
+        assert not by_name["training"].resumed
+        assert tb.thredds.requests_served == served_before
+        # The carried-over artifacts match the uninterrupted run.
+        for key in ROBUST_ARTIFACTS:
+            if key in rep0.step("download").artifacts:
+                assert (
+                    by_name["download"].artifacts[key]
+                    == rep0.step("download").artifacts[key]
+                )

@@ -1,0 +1,157 @@
+"""Tests for step timeouts, workflow checkpoints, and resumed runs."""
+
+import pytest
+
+from repro.errors import WorkflowError
+from repro.testbed import build_nautilus_testbed
+from repro.workflow import Workflow, WorkflowCheckpoint, WorkflowDriver
+from repro.workflow.step import StepContext, WorkflowStep
+
+
+class CountingStep(WorkflowStep):
+    """Sleeps, records an artifact, and counts real executions."""
+
+    default_params = {"duration": 10.0}
+
+    def __init__(self, **kwargs):
+        super().__init__(**kwargs)
+        self.calls = 0
+
+    def execute(self, ctx: StepContext):
+        self.calls += 1
+        yield ctx.env.timeout(float(ctx.params["duration"]))
+        ctx.report.artifacts["calls"] = self.calls
+        ctx.report.artifacts["finished_at"] = ctx.env.now
+
+
+class HangingFirstStep(CountingStep):
+    """Hangs forever on its first execution, then behaves."""
+
+    def execute(self, ctx: StepContext):
+        self.calls += 1
+        if self.calls == 1:
+            yield ctx.env.timeout(1e9)
+        yield from super().execute(ctx)
+        self.calls -= 1  # super() counted a second time
+
+
+@pytest.fixture
+def testbed():
+    return build_nautilus_testbed(seed=1, scale=0.0001)
+
+
+def _chain(*steps):
+    """Linearise the steps: each depends on the previous one."""
+    for prev, step in zip(steps, steps[1:]):
+        step.after(prev.name)
+    return Workflow("chain", list(steps))
+
+
+class TestStepTimeout:
+    def test_hung_step_times_out_and_retries(self, testbed):
+        step = HangingFirstStep(
+            name="hang", timeout_s=50.0, max_retries=1, retry_delay_s=5.0
+        )
+        report = WorkflowDriver(testbed).run(Workflow("w", [step]))
+        assert report.succeeded
+        s = report.steps[0]
+        assert s.retries == 1
+        # Timeout window + retry delay + the honest second run.
+        assert s.duration_s == pytest.approx(50.0 + 5.0 + 10.0)
+
+    def test_timeout_without_retries_fails_step(self, testbed):
+        step = HangingFirstStep(name="hang", timeout_s=20.0)
+        report = WorkflowDriver(testbed).run(Workflow("w", [step]))
+        assert not report.succeeded
+        assert "exceeded timeout" in report.steps[0].error
+
+
+class TestCheckpointing:
+    def test_deadline_kill_leaves_completed_prefix(self, testbed):
+        steps = [
+            CountingStep(name=n, params={"duration": 10.0}) for n in "abc"
+        ]
+        ckpt = WorkflowCheckpoint("chain")
+        report = WorkflowDriver(testbed).run(
+            _chain(*steps), checkpoint=ckpt, deadline_s=15.0
+        )
+        # Only "a" fit inside the deadline.
+        assert not report.succeeded
+        assert ckpt.completed() == {"a"}
+        assert ckpt.report_copy("a").succeeded
+
+    def test_resume_skips_completed_steps(self, testbed):
+        steps = [
+            CountingStep(name=n, params={"duration": 10.0}) for n in "abc"
+        ]
+        ckpt = WorkflowCheckpoint("chain")
+        WorkflowDriver(testbed).run(
+            _chain(*steps), checkpoint=ckpt, deadline_s=15.0
+        )
+        assert steps[0].calls == 1
+
+        tb2 = build_nautilus_testbed(seed=1, scale=0.0001)
+        steps2 = [
+            CountingStep(name=n, params={"duration": 10.0}) for n in "abc"
+        ]
+        report = WorkflowDriver(tb2).run(_chain(*steps2), resume_from=ckpt)
+        assert report.succeeded
+        assert steps2[0].calls == 0  # not re-executed
+        assert steps2[1].calls == 1
+        assert steps2[2].calls == 1
+        by_name = {s.name: s for s in report.steps}
+        assert by_name["a"].resumed
+        assert not by_name["b"].resumed
+        # The resumed step's artifacts carried over verbatim.
+        assert by_name["a"].artifacts["calls"] == 1
+
+    def test_resume_round_trips_through_json(self, testbed, tmp_path):
+        steps = [
+            CountingStep(name=n, params={"duration": 10.0}) for n in "ab"
+        ]
+        path = tmp_path / "ckpt.json"
+        ckpt = WorkflowCheckpoint("chain", path=path)
+        WorkflowDriver(testbed).run(
+            _chain(*steps), checkpoint=ckpt, deadline_s=15.0
+        )
+        loaded = WorkflowCheckpoint.load(path)
+        assert loaded.workflow_name == "chain"
+        assert loaded.completed() == {"a"}
+
+        tb2 = build_nautilus_testbed(seed=1, scale=0.0001)
+        steps2 = [
+            CountingStep(name=n, params={"duration": 10.0}) for n in "ab"
+        ]
+        report = WorkflowDriver(tb2).run(_chain(*steps2), resume_from=loaded)
+        assert report.succeeded
+        assert steps2[0].calls == 0
+
+    def test_workflow_name_mismatch_rejected(self, testbed):
+        ckpt = WorkflowCheckpoint("other-workflow")
+        with pytest.raises(WorkflowError):
+            WorkflowDriver(testbed).run(
+                Workflow("chain", [CountingStep(name="a")]),
+                resume_from=ckpt,
+            )
+
+    def test_recording_failed_step_rejected(self, testbed):
+        step = HangingFirstStep(name="hang", timeout_s=20.0)
+        report = WorkflowDriver(testbed).run(Workflow("w", [step]))
+        ckpt = WorkflowCheckpoint("w")
+        with pytest.raises(WorkflowError):
+            ckpt.record(report.steps[0], {})
+
+    def test_retries_and_resumed_survive_report_persistence(
+        self, testbed, tmp_path
+    ):
+        from repro.workflow import load_report, save_report
+
+        step = HangingFirstStep(
+            name="hang", timeout_s=50.0, max_retries=1, retry_delay_s=5.0
+        )
+        report = WorkflowDriver(testbed).run(Workflow("w", [step]))
+        path = tmp_path / "report.json"
+        save_report(report, path)
+        loaded = load_report(path)
+        assert loaded.steps[0].retries == 1
+        assert loaded.steps[0].resumed is False
