@@ -1,0 +1,80 @@
+"""repro-lint: rule-based static analysis for the reproduction.
+
+The paper's cluster stays operable because workloads are vetted
+*before* they run (admission control, manifest linting, namespace
+quotas — §IV/§V); this package is that pre-flight layer for the
+reproduction, exposed as ``python -m repro lint``.  Three rule packs:
+
+- ``spec`` (:mod:`~repro.analysis.cluster_rules`) — admission lint for
+  Pod/Job/Namespace/Service specs against the testbed's nodes:
+  unschedulable requests, missing requests/probes, zero retry budgets,
+  quota oversubscription, selectors matching nothing.
+- ``dag`` (:mod:`~repro.analysis.workflow_rules`) — workflow DAG lint:
+  cycles (with the full path quoted), self/unknown dependencies,
+  orphans, network steps without timeout/retry budgets, checkpoint
+  coverage gaps, aggregate GPU oversubscription across concurrent
+  branches.
+- ``det`` (:mod:`~repro.analysis.determinism`) — the determinism
+  sanitizer, an AST pass flagging unseeded RNGs, stdlib ``random``,
+  wall-clock reads and module-level mutable state in simulation code.
+
+Findings carry a rule code, severity, location and suggestion;
+:class:`Baseline` files grandfather accepted findings so the linter can
+gate CI (``--strict``) without stopping the world.
+"""
+
+from repro.analysis.baseline import Baseline
+from repro.analysis.determinism import is_sim_path, lint_python_paths, lint_source
+from repro.analysis.engine import LintEngine, LintReport, lint_cluster, lint_workflow
+from repro.analysis.findings import Finding, Location, Severity
+from repro.analysis.graph import find_cycle, format_cycle
+from repro.analysis.model import (
+    ClusterSpecView,
+    JobView,
+    NamespaceView,
+    NodeView,
+    PodView,
+    ServiceView,
+    StepView,
+    WorkflowView,
+    cluster_view,
+    pod_view_from_spec,
+    spec_view_from_dict,
+    workflow_view,
+    workflow_views_from_dict,
+)
+from repro.analysis.registry import Rule, RuleRegistry, registry
+from repro.analysis.workflow_rules import STRUCTURAL_DAG_CODES
+
+__all__ = [
+    "Baseline",
+    "ClusterSpecView",
+    "Finding",
+    "JobView",
+    "LintEngine",
+    "LintReport",
+    "Location",
+    "NamespaceView",
+    "NodeView",
+    "PodView",
+    "Rule",
+    "RuleRegistry",
+    "STRUCTURAL_DAG_CODES",
+    "ServiceView",
+    "Severity",
+    "StepView",
+    "WorkflowView",
+    "cluster_view",
+    "find_cycle",
+    "format_cycle",
+    "is_sim_path",
+    "lint_cluster",
+    "lint_python_paths",
+    "lint_source",
+    "lint_workflow",
+    "pod_view_from_spec",
+    "registry",
+    "spec_view_from_dict",
+    "workflow_view",
+    "workflow_views_from_dict",
+]

@@ -1,0 +1,86 @@
+"""Baseline suppression: adopt a linter without stopping the world.
+
+A baseline file records the fingerprints of *accepted* findings — debt
+you have looked at and justified — so ``repro lint`` only fails on new
+findings.  This is how admission lint rolls out on a busy cluster: the
+existing fleet is grandfathered, every new manifest is held to the
+rules.  The file is JSON, diff-friendly, and each entry carries a
+human justification that reviews can interrogate.
+"""
+
+from __future__ import annotations
+
+import json
+import pathlib
+import typing as _t
+
+from repro.analysis.findings import Finding
+
+__all__ = ["Baseline"]
+
+_FORMAT_VERSION = 1
+
+
+class Baseline:
+    """A set of suppressed finding fingerprints with justifications."""
+
+    def __init__(self) -> None:
+        #: fingerprint -> entry dict (code, location, message, justification)
+        self.entries: dict[str, dict] = {}
+
+    def __len__(self) -> int:
+        return len(self.entries)
+
+    def __contains__(self, finding: Finding) -> bool:
+        return finding.fingerprint in self.entries
+
+    def add(self, finding: Finding, justification: str = "") -> None:
+        self.entries[finding.fingerprint] = {
+            "code": finding.code,
+            "location": str(finding.location),
+            "message": finding.message,
+            "justification": justification or "accepted when baseline was written",
+        }
+
+    def split(
+        self, findings: _t.Iterable[Finding]
+    ) -> "tuple[list[Finding], list[Finding]]":
+        """Partition findings into (active, suppressed)."""
+        active: list[Finding] = []
+        suppressed: list[Finding] = []
+        for finding in findings:
+            (suppressed if finding in self else active).append(finding)
+        return active, suppressed
+
+    def to_dict(self) -> dict:
+        return {
+            "format_version": _FORMAT_VERSION,
+            "suppressions": [
+                {"fingerprint": fp, **entry}
+                for fp, entry in sorted(self.entries.items())
+            ],
+        }
+
+    @classmethod
+    def from_dict(cls, data: dict) -> "Baseline":
+        version = data.get("format_version")
+        if version != _FORMAT_VERSION:
+            raise ValueError(f"unsupported baseline format version: {version!r}")
+        baseline = cls()
+        for entry in data.get("suppressions", []):
+            entry = dict(entry)
+            fingerprint = entry.pop("fingerprint")
+            baseline.entries[fingerprint] = entry
+        return baseline
+
+    def save(self, path: "str | pathlib.Path") -> None:
+        pathlib.Path(path).write_text(
+            json.dumps(self.to_dict(), indent=2, sort_keys=True) + "\n"
+        )
+
+    @classmethod
+    def load(cls, path: "str | pathlib.Path") -> "Baseline":
+        return cls.from_dict(json.loads(pathlib.Path(path).read_text()))
+
+    def __repr__(self) -> str:
+        return f"<Baseline {len(self.entries)} suppressions>"

@@ -1,0 +1,297 @@
+"""Rule pack ``det``: the determinism sanitizer.
+
+The reproduction's whole measurement methodology (EXPERIMENTS.md
+"Determinism", the PPoDS measure-learn loop) rests on one invariant:
+the same seed produces the same run.  Every stochastic component must
+draw from a generator derived via :func:`repro.sim.rng.derive_seed`,
+and simulation code must read the *virtual* clock, never the wall
+clock.  This pack is the static enforcement of that invariant — the
+repo's analog of a race/nondeterminism detector — implemented as a
+single AST walk per source file:
+
+- ``DET001`` — unseeded ``np.random.default_rng()`` / ``RandomState()``.
+- ``DET002`` — stdlib ``random.*`` (process-global, unseedable per
+  stream) in simulation code paths.
+- ``DET003`` — wall-clock reads (``time.time``, ``datetime.now``...)
+  in simulation code paths.
+- ``DET004`` — module-level mutable state in simulation modules (shared
+  across testbeds built in one process, so run N can perturb run N+1).
+
+"Simulation code paths" are modules under ``sim/``, ``netsim/`` or
+named ``chaos``: the kernel, the network model, and the fault
+injectors, where a stray wall-clock read silently corrupts virtual
+time.  Outside those paths DET002/DET003 downgrade to warnings and
+DET004 stays quiet.
+"""
+
+from __future__ import annotations
+
+import ast
+import pathlib
+import typing as _t
+
+from repro.analysis.findings import Finding, Location, Severity
+from repro.analysis.registry import rule
+
+__all__ = ["lint_source", "lint_python_paths", "is_sim_path"]
+
+#: path components that mark simulation-critical code
+_SIM_DIR_MARKERS = {"sim", "netsim"}
+_SIM_FILE_MARKERS = ("chaos",)
+
+#: wall-clock calls: (module, attribute) pairs the sanitizer flags
+_WALL_CLOCK_TIME_ATTRS = {"time", "time_ns"}
+_WALL_CLOCK_DATETIME_ATTRS = {"now", "utcnow", "today"}
+
+#: builtin constructors whose module-level use creates shared mutable state
+_MUTABLE_CONSTRUCTORS = {
+    "list", "dict", "set", "defaultdict", "OrderedDict", "deque", "Counter",
+}
+
+
+def is_sim_path(path: "str | pathlib.Path") -> bool:
+    """True when the file lives on a simulation-critical code path."""
+    p = pathlib.Path(path)
+    if _SIM_DIR_MARKERS & {part.lower() for part in p.parts[:-1]}:
+        return True
+    return any(marker in p.stem.lower() for marker in _SIM_FILE_MARKERS)
+
+
+class _Analyzer(ast.NodeVisitor):
+    """One pass over a module, accumulating raw hits per rule code."""
+
+    def __init__(self) -> None:
+        #: local alias -> canonical module ("numpy.random", "random", ...)
+        self.module_aliases: dict[str, str] = {}
+        #: local name -> canonical dotted origin ("random.randint", ...)
+        self.name_origins: dict[str, str] = {}
+        self.hits: list[tuple[str, int, str]] = []  # (code, line, detail)
+        self._depth = 0
+
+    # -- imports ------------------------------------------------------------
+
+    def visit_Import(self, node: ast.Import) -> None:
+        for alias in node.names:
+            self.module_aliases[alias.asname or alias.name.split(".")[0]] = (
+                alias.name
+            )
+        self.generic_visit(node)
+
+    def visit_ImportFrom(self, node: ast.ImportFrom) -> None:
+        module = node.module or ""
+        for alias in node.names:
+            self.name_origins[alias.asname or alias.name] = (
+                f"{module}.{alias.name}" if module else alias.name
+            )
+        self.generic_visit(node)
+
+    # -- resolution helpers --------------------------------------------------
+
+    def _canonical(self, node: ast.expr) -> str:
+        """Resolve a call target to a dotted path through known aliases."""
+        parts: list[str] = []
+        cur: ast.expr = node
+        while isinstance(cur, ast.Attribute):
+            parts.append(cur.attr)
+            cur = cur.value
+        if isinstance(cur, ast.Name):
+            root = cur.id
+            if root in self.module_aliases:
+                parts.append(self.module_aliases[root])
+            elif root in self.name_origins:
+                parts.append(self.name_origins[root])
+            else:
+                parts.append(root)
+        else:
+            return ""
+        return ".".join(reversed(parts))
+
+    # -- calls ---------------------------------------------------------------
+
+    def visit_Call(self, node: ast.Call) -> None:
+        dotted = self._canonical(node.func)
+        if dotted:
+            self._check_rng(node, dotted)
+            self._check_stdlib_random(node, dotted)
+            self._check_wall_clock(node, dotted)
+        self.generic_visit(node)
+
+    def _check_rng(self, node: ast.Call, dotted: str) -> None:
+        leaf = dotted.rsplit(".", 1)[-1]
+        if leaf not in ("default_rng", "RandomState"):
+            return
+        if not (dotted.startswith("numpy.") or "random" in dotted):
+            return
+        if node.args or node.keywords:
+            return  # seeded (or at least explicitly parameterized)
+        self.hits.append(("DET001", node.lineno, f"{leaf}() has no seed"))
+
+    def _check_stdlib_random(self, node: ast.Call, dotted: str) -> None:
+        if dotted.startswith("random."):
+            self.hits.append(("DET002", node.lineno, dotted))
+
+    def _check_wall_clock(self, node: ast.Call, dotted: str) -> None:
+        parts = dotted.split(".")
+        if parts[0] == "time" and parts[-1] in _WALL_CLOCK_TIME_ATTRS:
+            self.hits.append(("DET003", node.lineno, dotted))
+            return
+        if parts[0] == "datetime" and parts[-1] in _WALL_CLOCK_DATETIME_ATTRS:
+            self.hits.append(("DET003", node.lineno, dotted))
+            return
+        # `from datetime import datetime` -> datetime.now()
+        origin = self.name_origins.get(parts[0], "")
+        if (
+            origin.startswith("datetime.")
+            and len(parts) > 1
+            and parts[-1] in _WALL_CLOCK_DATETIME_ATTRS
+        ):
+            self.hits.append(("DET003", node.lineno, f"{origin}.{parts[-1]}"))
+
+    # -- module-level state ----------------------------------------------------
+
+    def _flag_mutable(self, target: ast.expr, value: ast.expr) -> None:
+        if not isinstance(target, ast.Name):
+            return
+        name = target.id
+        if name.startswith("__") and name.endswith("__"):
+            return  # __all__ and friends are convention, not state
+        mutable = isinstance(
+            value,
+            (ast.List, ast.Dict, ast.Set, ast.ListComp, ast.DictComp,
+             ast.SetComp),
+        )
+        if isinstance(value, ast.Call):
+            callee = self._canonical(value.func).rsplit(".", 1)[-1]
+            mutable = callee in _MUTABLE_CONSTRUCTORS
+        if mutable:
+            self.hits.append(("DET004", target.lineno, name))
+
+    def visit_Assign(self, node: ast.Assign) -> None:
+        if self._depth == 0:
+            for target in node.targets:
+                self._flag_mutable(target, node.value)
+        self.generic_visit(node)
+
+    def visit_AnnAssign(self, node: ast.AnnAssign) -> None:
+        if self._depth == 0 and node.value is not None:
+            self._flag_mutable(node.target, node.value)
+        self.generic_visit(node)
+
+    # -- scope depth tracking ----------------------------------------------------
+
+    def _scoped(self, node: ast.AST) -> None:
+        self._depth += 1
+        self.generic_visit(node)
+        self._depth -= 1
+
+    visit_FunctionDef = _scoped
+    visit_AsyncFunctionDef = _scoped
+    visit_ClassDef = _scoped
+    visit_Lambda = _scoped
+
+
+def _severity(code: str, sim: bool) -> "Severity | None":
+    """Map a raw hit to a severity given the file's code path (or drop it)."""
+    if code == "DET001":
+        return Severity.ERROR
+    if code in ("DET002", "DET003"):
+        return Severity.ERROR if sim else Severity.WARNING
+    if code == "DET004":
+        return Severity.WARNING if sim else None
+    raise AssertionError(code)  # pragma: no cover
+
+
+_MESSAGES = {
+    "DET001": (
+        "unseeded random generator: {detail}; derive the seed via "
+        "repro.sim.rng.derive_seed so reruns reproduce",
+        "pass a seed: np.random.default_rng(derive_seed(root, \"stream\"))",
+    ),
+    "DET002": (
+        "stdlib {detail}() draws from process-global state; simulation "
+        "code must use a seeded numpy Generator",
+        "use SeededRNG.stream(...) / np.random.default_rng(derive_seed(...))",
+    ),
+    "DET003": (
+        "wall-clock read {detail}() in simulation code; virtual time "
+        "comes from env.now",
+        "read env.now (or pass timestamps in) instead of the wall clock",
+    ),
+    "DET004": (
+        "module-level mutable state {detail!r} is shared by every testbed "
+        "built in this process; run N can perturb run N+1",
+        "move the state into a class/testbed instance or make it immutable",
+    ),
+}
+
+
+def lint_source(
+    source: str, path: "str | pathlib.Path" = "<string>"
+) -> "list[Finding]":
+    """Run the determinism pack over one Python source text."""
+    try:
+        tree = ast.parse(source, filename=str(path))
+    except SyntaxError as exc:
+        return [
+            Finding(
+                code="DET000",
+                severity=Severity.ERROR,
+                message=f"source does not parse: {exc.msg}",
+                location=Location(path=str(path), line=exc.lineno or 0),
+                suggestion="fix the syntax error before linting",
+            )
+        ]
+    analyzer = _Analyzer()
+    analyzer.visit(tree)
+    sim = is_sim_path(path)
+    findings: list[Finding] = []
+    for code, line, detail in analyzer.hits:
+        severity = _severity(code, sim)
+        if severity is None:
+            continue
+        message, suggestion = _MESSAGES[code]
+        findings.append(
+            Finding(
+                code=code,
+                severity=severity,
+                message=message.format(detail=detail),
+                location=Location(path=str(path), line=line),
+                suggestion=suggestion,
+            )
+        )
+    return findings
+
+
+def lint_python_paths(
+    paths: _t.Iterable["str | pathlib.Path"],
+) -> "list[Finding]":
+    """Lint files and directories (recursing into ``*.py``)."""
+    findings: list[Finding] = []
+    for raw in paths:
+        root = pathlib.Path(raw)
+        files = sorted(root.rglob("*.py")) if root.is_dir() else [root]
+        for file in files:
+            findings.extend(lint_source(file.read_text(), path=file))
+    return findings
+
+
+# Registered for discoverability (--list-rules, docs); the engine calls
+# lint_source directly since the det pack's subject is a file, not a view.
+def _register_det_rules() -> None:
+    specs = [
+        ("DET001", "unseeded-rng", Severity.ERROR,
+         "np.random.default_rng()/RandomState() called without a seed"),
+        ("DET002", "stdlib-random", Severity.ERROR,
+         "stdlib random.* in simulation code paths (warning elsewhere)"),
+        ("DET003", "wall-clock-read", Severity.ERROR,
+         "time.time()/datetime.now() in simulation code paths "
+         "(warning elsewhere)"),
+        ("DET004", "module-level-mutable-state", Severity.WARNING,
+         "module-level list/dict/set state in simulation modules"),
+    ]
+    for code, name, severity, description in specs:
+        rule(code, name, pack="det", severity=severity,
+             description=description)(lint_source)
+
+
+_register_det_rules()

@@ -1,0 +1,105 @@
+"""Dependency-graph helpers shared by workflow validation and lint.
+
+Both :class:`repro.workflow.Workflow` and the DAG rule pack need the
+same answers — "is there a cycle, and through which steps?" — and must
+give them *deterministically*: the same graph always reports the same
+cycle, in the same orientation, regardless of dict insertion order.
+Centralizing the traversal here keeps the runtime error message and the
+lint finding literally identical.
+"""
+
+from __future__ import annotations
+
+import typing as _t
+
+__all__ = ["find_cycle", "format_cycle", "reachable_from", "concurrent_pairs"]
+
+
+def find_cycle(deps: _t.Mapping[str, _t.Sequence[str]]) -> "list[str] | None":
+    """Return one dependency cycle as a node list, or ``None``.
+
+    ``deps`` maps node -> prerequisites.  Nodes and edges are visited in
+    sorted order and the returned cycle is rotated to start at its
+    lexicographically smallest member, so the answer is a pure function
+    of the graph's *shape* — declaration order never changes it.  Edges
+    to unknown nodes are ignored (they are a different validation
+    error).
+
+    >>> find_cycle({"a": ["b"], "b": ["a"]})
+    ['a', 'b']
+    >>> find_cycle({"a": [], "b": ["a"]}) is None
+    True
+    """
+    WHITE, GREY, BLACK = 0, 1, 2
+    color: dict[str, int] = {name: WHITE for name in deps}
+    stack: list[str] = []
+
+    def visit(node: str) -> "list[str] | None":
+        color[node] = GREY
+        stack.append(node)
+        for dep in sorted(deps[node]):
+            if dep not in color:
+                continue  # unknown dependency: not a cycle problem
+            if color[dep] == GREY:
+                cycle = stack[stack.index(dep):]
+                return _normalize(cycle)
+            if color[dep] == WHITE:
+                found = visit(dep)
+                if found is not None:
+                    return found
+        stack.pop()
+        color[node] = BLACK
+        return None
+
+    for name in sorted(deps):
+        if color[name] == WHITE:
+            found = visit(name)
+            if found is not None:
+                return found
+    return None
+
+
+def _normalize(cycle: list[str]) -> list[str]:
+    """Rotate a cycle to start at its smallest member."""
+    pivot = cycle.index(min(cycle))
+    return cycle[pivot:] + cycle[:pivot]
+
+
+def format_cycle(cycle: _t.Sequence[str]) -> str:
+    """Render a cycle as the quoted path ``a -> b -> a``."""
+    return " -> ".join(list(cycle) + [cycle[0]])
+
+
+def reachable_from(
+    deps: _t.Mapping[str, _t.Sequence[str]], start: str
+) -> set[str]:
+    """All transitive prerequisites of ``start`` (excluding itself)."""
+    seen: set[str] = set()
+    frontier = [start]
+    while frontier:
+        node = frontier.pop()
+        for dep in deps.get(node, ()):
+            if dep in deps and dep not in seen:
+                seen.add(dep)
+                frontier.append(dep)
+    return seen
+
+
+def concurrent_pairs(
+    deps: _t.Mapping[str, _t.Sequence[str]]
+) -> "set[frozenset[str]]":
+    """Pairs of nodes with no dependency path either way.
+
+    Two such nodes may run at the same time under a driver that launches
+    every dependency-satisfied step concurrently — exactly what
+    :class:`~repro.workflow.driver.WorkflowDriver` does — so aggregate
+    resource checks must consider them together.
+    """
+    ancestors = {name: reachable_from(deps, name) for name in deps}
+    names = sorted(deps)
+    pairs: set[frozenset[str]] = set()
+    for i, a in enumerate(names):
+        for b in names[i + 1:]:
+            if b not in ancestors[a] and a not in ancestors[b]:
+                pairs.add(frozenset((a, b)))
+    return pairs

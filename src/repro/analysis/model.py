@@ -1,0 +1,451 @@
+"""Lint views: the neutral shapes rules actually inspect.
+
+Rules never touch live :class:`~repro.cluster.cluster.Cluster` or
+:class:`~repro.workflow.Workflow` objects directly — they see small
+frozen view dataclasses.  That buys two things: the same rule runs over
+a *live* cluster (admission hook), over in-memory workflow objects
+(``Workflow.__init__``), and over declarative JSON fixtures (CI,
+pre-flight checks of specs that were never instantiated); and the
+analysis package never imports the workflow layer, so the workflow
+layer is free to import the analysis engine without a cycle.
+
+Adapters here are duck-typed: any object with the right attributes
+(``depends_on``, ``timeout_s``, ``spec.total_request()``...) converts.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import typing as _t
+
+from repro.cluster.quantity import parse_cpu, parse_memory
+
+__all__ = [
+    "NodeView",
+    "PodView",
+    "JobView",
+    "NamespaceView",
+    "ServiceView",
+    "ClusterSpecView",
+    "StepView",
+    "WorkflowView",
+    "cluster_view",
+    "pod_view_from_spec",
+    "workflow_view",
+]
+
+
+# --------------------------------------------------------------------- cluster
+
+
+@dataclasses.dataclass(frozen=True)
+class NodeView:
+    """Allocatable capacity of one machine."""
+
+    name: str
+    cpu: float = 0.0
+    memory: float = 0.0
+    gpu: int = 0
+
+    def fits(self, pod: "PodView") -> bool:
+        """Could the pod's request ever fit on an *empty* copy of this
+        node?  (Admission feasibility, not current free capacity.)"""
+        return (
+            pod.cpu <= self.cpu + 1e-9
+            and pod.memory <= self.memory
+            and pod.gpu <= self.gpu
+        )
+
+
+@dataclasses.dataclass(frozen=True)
+class PodView:
+    """One pod spec (standalone, or a controller's template)."""
+
+    name: str
+    namespace: str = "default"
+    cpu: float = 0.0
+    memory: float = 0.0
+    gpu: int = 0
+    labels: _t.Mapping[str, str] = dataclasses.field(default_factory=dict)
+    #: any container declared an explicit cpu or memory request
+    has_requests: bool = True
+    #: pod is meant to run indefinitely (service/replica workloads)
+    long_running: bool = False
+    has_liveness: bool = False
+    #: "Pod", "Job", "ReplicaSet", "DaemonSet" — what declared this spec
+    kind: str = "Pod"
+
+    def matches(self, selector: _t.Mapping[str, str]) -> bool:
+        return all(self.labels.get(k) == v for k, v in selector.items())
+
+
+@dataclasses.dataclass(frozen=True)
+class JobView:
+    """A batch Job: template pod × parallelism, with a failure budget."""
+
+    name: str
+    namespace: str = "default"
+    backoff_limit: int = 6
+    completions: int = 1
+    parallelism: int = 1
+    template: "PodView | None" = None
+
+
+@dataclasses.dataclass(frozen=True)
+class NamespaceView:
+    """A virtual cluster and its (optional) quota ceiling."""
+
+    name: str
+    quota_cpu: float = float("inf")
+    quota_memory: float = float("inf")
+    quota_gpu: float = float("inf")
+    quota_pods: float = float("inf")
+
+    @property
+    def has_quota(self) -> bool:
+        return any(
+            q != float("inf")
+            for q in (self.quota_cpu, self.quota_memory, self.quota_gpu,
+                      self.quota_pods)
+        )
+
+
+@dataclasses.dataclass(frozen=True)
+class ServiceView:
+    name: str
+    namespace: str = "default"
+    selector: _t.Mapping[str, str] = dataclasses.field(default_factory=dict)
+
+
+@dataclasses.dataclass(frozen=True)
+class ClusterSpecView:
+    """Everything the spec pack needs to judge a deployment."""
+
+    nodes: tuple[NodeView, ...] = ()
+    namespaces: tuple[NamespaceView, ...] = ()
+    pods: tuple[PodView, ...] = ()
+    jobs: tuple[JobView, ...] = ()
+    services: tuple[ServiceView, ...] = ()
+    source: str = "cluster"
+
+    def all_pods(self) -> "list[PodView]":
+        """Standalone pods plus each job's template, once per parallel slot."""
+        out = list(self.pods)
+        for job in self.jobs:
+            if job.template is not None:
+                out.extend([job.template] * max(1, job.parallelism))
+        return out
+
+
+# -------------------------------------------------------------------- workflow
+
+
+@dataclasses.dataclass(frozen=True)
+class StepView:
+    """One workflow step as the DAG pack sees it."""
+
+    name: str
+    depends_on: tuple[str, ...] = ()
+    timeout_s: "float | None" = None
+    max_retries: int = 0
+    #: step talks to external services (THREDDS catalog, aria2 streams)
+    network_bound: bool = False
+    #: a checkpoint written after this step supports resume_from
+    checkpointable: bool = True
+    #: concurrent GPU demand while the step runs
+    gpus: int = 0
+    image: str = ""
+
+
+@dataclasses.dataclass(frozen=True)
+class WorkflowView:
+    name: str
+    steps: tuple[StepView, ...] = ()
+    #: total GPUs in the target testbed, when known (None disables
+    #: aggregate-capacity rules)
+    total_gpus: "int | None" = None
+    source: str = "workflow"
+
+    def deps(self) -> dict[str, tuple[str, ...]]:
+        return {s.name: s.depends_on for s in self.steps}
+
+    def step(self, name: str) -> StepView:
+        for s in self.steps:
+            if s.name == name:
+                return s
+        raise KeyError(name)
+
+
+# -------------------------------------------------------------------- adapters
+
+#: substrings of a container image name that imply WAN transfers
+_NETWORK_IMAGE_HINTS = ("thredds", "aria2", "download", "transfer", "rsync", "s3")
+
+
+def pod_view_from_spec(
+    name: str,
+    spec: _t.Any,
+    namespace: str,
+    labels: _t.Mapping[str, str] | None = None,
+    kind: str = "Pod",
+    long_running: bool = False,
+) -> PodView:
+    """Adapt a live :class:`~repro.cluster.pod.PodSpec`."""
+    total = spec.total_request()
+    has_requests = any(
+        c.resources.cpu > 0 or c.resources.memory > 0 for c in spec.containers
+    )
+    return PodView(
+        name=name,
+        namespace=namespace,
+        cpu=total.cpu,
+        memory=float(total.memory),
+        gpu=total.gpu,
+        labels=dict(labels or {}),
+        has_requests=has_requests,
+        long_running=long_running,
+        has_liveness=getattr(spec, "liveness", None) is not None,
+        kind=kind,
+    )
+
+
+def cluster_view(cluster: _t.Any) -> ClusterSpecView:
+    """Adapt a live :class:`~repro.cluster.cluster.Cluster`.
+
+    Job templates are materialized at index 0 (templates are pure
+    spec-builders in this codebase); ReplicaSet/DaemonSet pods count as
+    long-running for the liveness-probe rule.
+    """
+    nodes = tuple(
+        NodeView(
+            name=node.spec.name,
+            cpu=node.capacity.cpu,
+            memory=float(node.capacity.memory),
+            gpu=node.capacity.gpu,
+        )
+        for _name, node in sorted(cluster.nodes.items())
+    )
+    namespaces = tuple(
+        NamespaceView(
+            name=ns.name,
+            quota_cpu=ns.quota.cpu,
+            quota_memory=float(ns.quota.memory),
+            quota_gpu=ns.quota.gpu,
+            quota_pods=ns.quota.max_pods,
+        )
+        for _name, ns in sorted(cluster.namespaces.items())
+    )
+    service_owned = {
+        uid
+        for rs in cluster.replicasets.values()
+        for uid in [rs.meta.uid]
+    } | {uid for ds in cluster.daemonsets.values() for uid in [ds.meta.uid]}
+    pods = tuple(
+        pod_view_from_spec(
+            pod.meta.name,
+            pod.spec,
+            pod.meta.namespace,
+            pod.meta.labels,
+            long_running=pod.owner_uid in service_owned,
+        )
+        for _key, pod in sorted(cluster.pods.items())
+        if not pod.is_terminal
+    )
+    jobs = []
+    for _key, job in sorted(cluster.jobs.items()):
+        try:
+            template = pod_view_from_spec(
+                f"{job.meta.name}-template",
+                job.spec.template(0),
+                job.meta.namespace,
+                kind="Job",
+            )
+        except Exception:  # template needs runtime context: skip its pods
+            template = None
+        jobs.append(
+            JobView(
+                name=job.meta.name,
+                namespace=job.meta.namespace,
+                backoff_limit=job.spec.backoff_limit,
+                completions=job.spec.completions,
+                parallelism=job.spec.parallelism,
+                template=template,
+            )
+        )
+    services = tuple(
+        ServiceView(
+            name=svc.meta.name,
+            namespace=svc.meta.namespace,
+            selector=dict(svc.selector),
+        )
+        for _key, svc in sorted(cluster.services.items())
+    )
+    return ClusterSpecView(
+        nodes=nodes,
+        namespaces=namespaces,
+        pods=pods,
+        jobs=tuple(jobs),
+        services=services,
+        source=f"cluster:{getattr(cluster, 'name', 'cluster')}",
+    )
+
+
+def workflow_view(
+    workflow: _t.Any, total_gpus: "int | None" = None
+) -> WorkflowView:
+    """Adapt a live :class:`~repro.workflow.Workflow` (or anything with a
+    ``name`` and a ``steps`` mapping of step-like objects)."""
+    steps = []
+    for step in workflow.steps.values():
+        image = getattr(step, "image", "") or ""
+        network = bool(getattr(step, "network_bound", False)) or any(
+            hint in image.lower() for hint in _NETWORK_IMAGE_HINTS
+        )
+        if hasattr(step, "gpu_demand"):
+            gpus = int(step.gpu_demand())
+        else:
+            params = getattr(step, "params", {}) or {}
+            gpus = int(params.get("n_gpus", params.get("gpus", 0)))
+        steps.append(
+            StepView(
+                name=step.name,
+                depends_on=tuple(getattr(step, "depends_on", ())),
+                timeout_s=getattr(step, "timeout_s", None),
+                max_retries=int(getattr(step, "max_retries", 0)),
+                network_bound=network,
+                checkpointable=bool(getattr(step, "checkpointable", True)),
+                gpus=gpus,
+                image=image,
+            )
+        )
+    return WorkflowView(
+        name=workflow.name,
+        steps=tuple(steps),
+        total_gpus=total_gpus,
+        source=f"workflow:{workflow.name}",
+    )
+
+
+# -------------------------------------------------------------------- fixtures
+
+
+def _fixture_pod(raw: dict, default_ns: str = "default") -> PodView:
+    cpu = parse_cpu(raw.get("cpu", 0))
+    memory = float(parse_memory(raw.get("memory", 0)))
+    explicit = "has_requests" in raw
+    return PodView(
+        name=raw["name"],
+        namespace=raw.get("namespace", default_ns),
+        cpu=cpu,
+        memory=memory,
+        gpu=int(raw.get("gpu", 0)),
+        labels=dict(raw.get("labels", {})),
+        has_requests=(
+            bool(raw["has_requests"]) if explicit else (cpu > 0 or memory > 0)
+        ),
+        long_running=bool(raw.get("long_running", False)),
+        has_liveness=bool(raw.get("liveness", False)),
+        kind=raw.get("kind", "Pod"),
+    )
+
+
+def spec_view_from_dict(data: dict, source: str = "fixture") -> ClusterSpecView:
+    """Build a :class:`ClusterSpecView` from a JSON fixture dict.
+
+    See ``tests/analysis/fixtures/`` and the README "Static analysis"
+    section for the schema.  Quantities accept Kubernetes strings
+    (``"500m"``, ``"96Gi"``).
+    """
+    nodes = tuple(
+        NodeView(
+            name=raw["name"],
+            cpu=parse_cpu(raw.get("cpu", 0)),
+            memory=float(parse_memory(raw.get("memory", 0))),
+            gpu=int(raw.get("gpus", raw.get("gpu", 0))),
+        )
+        for raw in data.get("nodes", [])
+    )
+    namespaces = tuple(
+        NamespaceView(
+            name=raw["name"],
+            quota_cpu=(
+                parse_cpu(raw["quota"]["cpu"])
+                if "cpu" in raw.get("quota", {})
+                else float("inf")
+            ),
+            quota_memory=(
+                float(parse_memory(raw["quota"]["memory"]))
+                if "memory" in raw.get("quota", {})
+                else float("inf")
+            ),
+            quota_gpu=float(raw.get("quota", {}).get("gpu", float("inf"))),
+            quota_pods=float(raw.get("quota", {}).get("max_pods", float("inf"))),
+        )
+        for raw in data.get("namespaces", [])
+    )
+    pods = tuple(_fixture_pod(raw) for raw in data.get("pods", []))
+    jobs = tuple(
+        JobView(
+            name=raw["name"],
+            namespace=raw.get("namespace", "default"),
+            backoff_limit=int(raw.get("backoff_limit", 6)),
+            completions=int(raw.get("completions", 1)),
+            parallelism=int(raw.get("parallelism", 1)),
+            template=(
+                _fixture_pod(raw["pod"], raw.get("namespace", "default"))
+                if "pod" in raw
+                else None
+            ),
+        )
+        for raw in data.get("jobs", [])
+    )
+    services = tuple(
+        ServiceView(
+            name=raw["name"],
+            namespace=raw.get("namespace", "default"),
+            selector=dict(raw.get("selector", {})),
+        )
+        for raw in data.get("services", [])
+    )
+    return ClusterSpecView(
+        nodes=nodes,
+        namespaces=namespaces,
+        pods=pods,
+        jobs=jobs,
+        services=services,
+        source=source,
+    )
+
+
+def workflow_views_from_dict(
+    data: dict, source: str = "fixture"
+) -> "list[WorkflowView]":
+    """Build workflow views from a JSON fixture dict (``workflows`` key,
+    or a single top-level ``workflow``)."""
+    raw_workflows = list(data.get("workflows", []))
+    if "workflow" in data:
+        raw_workflows.append(data["workflow"])
+    out = []
+    for raw in raw_workflows:
+        steps = tuple(
+            StepView(
+                name=s["name"],
+                depends_on=tuple(s.get("depends_on", [])),
+                timeout_s=s.get("timeout_s"),
+                max_retries=int(s.get("max_retries", 0)),
+                network_bound=bool(s.get("network", s.get("network_bound", False))),
+                checkpointable=bool(s.get("checkpointable", True)),
+                gpus=int(s.get("gpus", 0)),
+                image=s.get("image", ""),
+            )
+            for s in raw.get("steps", [])
+        )
+        out.append(
+            WorkflowView(
+                name=raw.get("name", "workflow"),
+                steps=steps,
+                total_gpus=raw.get("total_gpus", data.get("total_gpus")),
+                source=source,
+            )
+        )
+    return out

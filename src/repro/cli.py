@@ -9,6 +9,11 @@ Commands
 ``run``
     Execute the 4-step CONNECT workflow and print Table I (and, with
     ``--figures``, Figures 3–6).
+``lint``
+    Static analysis (repro-lint): run the spec/dag/det rule packs over
+    JSON spec fixtures and Python sources, or — with no paths — over
+    the built testbed plus the CONNECT workflow.  Exits nonzero on
+    error findings (and on warnings under ``--strict``).
 ``version``
     Print the package version.
 """
@@ -63,6 +68,45 @@ def build_parser() -> argparse.ArgumentParser:
                        help="download entire files instead of IVT variables")
     p_run.add_argument("--figures", action="store_true",
                        help="also print Figures 3-6")
+
+    p_lint = sub.add_parser(
+        "lint", help="static analysis over specs, workflows and sources"
+    )
+    common(p_lint)
+    p_lint.add_argument(
+        "paths",
+        nargs="*",
+        help="JSON spec fixtures and/or Python files/directories; with "
+             "no paths, lint the built testbed and the CONNECT workflow",
+    )
+    p_lint.add_argument(
+        "--format", choices=("text", "json"), default="text",
+        help="output format",
+    )
+    p_lint.add_argument(
+        "--strict", action="store_true",
+        help="exit nonzero on warnings too, not just errors",
+    )
+    p_lint.add_argument(
+        "--select", action="append", default=None, metavar="CODE",
+        help="run only these rule codes (repeatable)",
+    )
+    p_lint.add_argument(
+        "--disable", action="append", default=None, metavar="CODE",
+        help="switch these rule codes off (repeatable; wins over --select)",
+    )
+    p_lint.add_argument(
+        "--baseline", metavar="FILE", default=None,
+        help="JSON baseline of accepted findings to suppress",
+    )
+    p_lint.add_argument(
+        "--update-baseline", action="store_true",
+        help="write the current findings to --baseline and exit 0",
+    )
+    p_lint.add_argument(
+        "--list-rules", action="store_true",
+        help="print every registered rule and exit",
+    )
 
     sub.add_parser("version", help="print the package version")
     return parser
@@ -129,6 +173,72 @@ def _cmd_run(args: argparse.Namespace) -> int:
     return 0
 
 
+def _cmd_lint(args: argparse.Namespace) -> int:
+    import pathlib
+
+    from repro.analysis import Baseline, LintEngine, cluster_view, registry, workflow_view
+
+    if args.list_rules:
+        print(registry.render_table())
+        return 0
+
+    baseline = None
+    baseline_path = pathlib.Path(args.baseline) if args.baseline else None
+    if baseline_path is not None and baseline_path.exists():
+        baseline = Baseline.load(baseline_path)
+
+    try:
+        engine = LintEngine(
+            select=args.select, disable=args.disable, baseline=baseline
+        )
+    except KeyError as exc:
+        print(exc.args[0], file=sys.stderr)
+        return 2
+
+    try:
+        if args.paths:
+            report = engine.lint_paths(args.paths)
+        else:
+            # No paths: lint the deployment itself — the built testbed's
+            # cluster and the CONNECT workflow against its GPU total.
+            from repro.testbed import build_nautilus_testbed
+            from repro.workflow import build_connect_workflow
+
+            with warnings.catch_warnings():
+                warnings.simplefilter("ignore")
+                testbed = build_nautilus_testbed(
+                    seed=args.seed, scale=args.scale
+                )
+                workflow = build_connect_workflow(testbed)
+            report = engine.lint_views(
+                cluster=cluster_view(testbed.cluster),
+                workflows=[
+                    workflow_view(workflow, total_gpus=testbed.total_gpus())
+                ],
+            )
+    except FileNotFoundError as exc:
+        print(str(exc), file=sys.stderr)
+        return 2
+
+    if args.update_baseline:
+        if baseline_path is None:
+            print("--update-baseline requires --baseline FILE", file=sys.stderr)
+            return 2
+        new_baseline = baseline or Baseline()
+        for finding in report.findings:
+            new_baseline.add(finding, justification="accepted via --update-baseline")
+        new_baseline.save(baseline_path)
+        print(f"baseline updated: {baseline_path} "
+              f"({len(new_baseline.entries)} accepted finding(s))")
+        return 0
+
+    if args.format == "json":
+        print(report.render_json())
+    else:
+        print(report.render_text())
+    return report.exit_code(strict=args.strict)
+
+
 def main(argv: _t.Sequence[str] | None = None) -> int:
     """Entry point; returns a process exit code."""
     args = build_parser().parse_args(argv)
@@ -141,4 +251,6 @@ def main(argv: _t.Sequence[str] | None = None) -> int:
         return _cmd_describe(args)
     if args.command == "run":
         return _cmd_run(args)
+    if args.command == "lint":
+        return _cmd_lint(args)
     raise AssertionError(f"unhandled command {args.command!r}")  # pragma: no cover

@@ -122,6 +122,20 @@ class WorkflowStep:
     #: Subclass hook: parameter defaults.
     default_params: dict[str, object] = {}
 
+    #: Subclass hook: the step moves data over the WAN (downloads,
+    #: transfers).  The ``dag`` lint pack (DAG005) insists such steps
+    #: carry a ``timeout_s`` and/or ``max_retries`` budget.
+    network_bound: bool = False
+
+    #: Subclass hook: the step's artifacts survive a round-trip through
+    #: :class:`~repro.workflow.persistence.WorkflowCheckpoint`, so a
+    #: resumed run can skip past it (DAG006 flags gaps).
+    checkpointable: bool = True
+
+    #: Subclass hook: GPUs the step occupies when ``params`` carry no
+    #: explicit ``n_gpus``/``gpus`` count (see :meth:`gpu_demand`).
+    base_gpus: int = 0
+
     def __init__(
         self,
         name: str,
@@ -153,6 +167,10 @@ class WorkflowStep:
         self.timeout_s = timeout_s
         #: names of steps whose artifacts this step consumes
         self.depends_on: list[str] = []
+
+    def gpu_demand(self) -> int:
+        """GPUs this step occupies while running (for DAG007 lint)."""
+        return int(self.params.get("n_gpus", self.params.get("gpus", self.base_gpus)))  # type: ignore[arg-type]
 
     def after(self, *step_names: str) -> "WorkflowStep":
         """Declare dependencies; returns self for chaining."""

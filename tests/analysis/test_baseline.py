@@ -1,0 +1,200 @@
+"""Findings model, fingerprints, baseline suppression, engine plumbing."""
+
+from __future__ import annotations
+
+import json
+
+import pytest
+
+from repro.analysis import (
+    Baseline,
+    ClusterSpecView,
+    Finding,
+    LintEngine,
+    Location,
+    NodeView,
+    PodView,
+    Severity,
+    registry,
+)
+from repro.analysis.findings import sort_findings
+
+
+def finding(code="SPEC001", line=3, message="boom", path="a.json") -> Finding:
+    return Finding(
+        code=code,
+        severity=Severity.ERROR,
+        message=message,
+        location=Location(path=path, line=line),
+        suggestion="fix it",
+    )
+
+
+# ----------------------------------------------------------- finding model
+
+
+def test_severity_ordering():
+    # rank is a sort key: errors present first
+    assert Severity.ERROR.rank < Severity.WARNING.rank < Severity.INFO.rank
+
+
+def test_finding_format_and_dict_roundtrip():
+    f = finding()
+    text = f.format()
+    assert "SPEC001" in text and "boom" in text and "fix it" in text
+    d = f.to_dict()
+    assert d["code"] == "SPEC001"
+    assert d["severity"] == "error"
+    json.dumps(d)  # serializable
+
+
+def test_sort_findings_severity_then_location():
+    warn = Finding(
+        code="SPEC002",
+        severity=Severity.WARNING,
+        message="later",
+        location=Location(path="a.json", line=1),
+    )
+    err = finding(line=9)
+    assert sort_findings([warn, err])[0] is err
+
+
+# ------------------------------------------------------------ fingerprints
+
+
+def test_fingerprint_stable_across_line_moves():
+    assert finding(line=3).fingerprint == finding(line=300).fingerprint
+
+
+def test_fingerprint_changes_with_code_message_and_path():
+    base = finding()
+    assert base.fingerprint != finding(code="SPEC005").fingerprint
+    assert base.fingerprint != finding(message="other").fingerprint
+    assert base.fingerprint != finding(path="b.json").fingerprint
+
+
+# ---------------------------------------------------------------- baseline
+
+
+def test_baseline_split_and_contains():
+    accepted, fresh = finding(), finding(message="new problem")
+    baseline = Baseline()
+    baseline.add(accepted, justification="legacy manifest")
+    assert accepted in baseline and fresh not in baseline
+    active, suppressed = baseline.split([accepted, fresh])
+    assert active == [fresh]
+    assert suppressed == [accepted]
+
+
+def test_baseline_save_load_roundtrip(tmp_path):
+    baseline = Baseline()
+    baseline.add(finding(), justification="known")
+    path = tmp_path / "baseline.json"
+    baseline.save(path)
+    loaded = Baseline.load(path)
+    assert finding() in loaded
+    entry = next(iter(loaded.entries.values()))
+    assert entry["justification"] == "known"
+
+
+def test_baseline_rejects_unknown_format(tmp_path):
+    path = tmp_path / "bad.json"
+    path.write_text(json.dumps({"format_version": 99}))
+    with pytest.raises(ValueError, match="format version"):
+        Baseline.load(path)
+
+
+# ------------------------------------------------------------------ engine
+
+
+BAD_VIEW = ClusterSpecView(
+    nodes=(NodeView(name="n", cpu=4, memory=2**30, gpu=0),),
+    pods=(PodView(name="p", gpu=2),),  # SPEC001
+)
+
+
+def test_engine_select_and_disable():
+    assert {f.code for f in LintEngine().run_spec(BAD_VIEW)} == {"SPEC001"}
+    assert LintEngine(disable=["SPEC001"]).run_spec(BAD_VIEW) == []
+    assert LintEngine(select=["SPEC002"]).run_spec(BAD_VIEW) == []
+    # disable wins over select
+    assert (
+        LintEngine(select=["SPEC001"], disable=["SPEC001"]).run_spec(BAD_VIEW)
+        == []
+    )
+
+
+def test_engine_unknown_code_raises():
+    with pytest.raises(KeyError, match="SPEC999"):
+        LintEngine(select=["SPEC999"])
+    with pytest.raises(KeyError, match="NOPE"):
+        LintEngine(disable=["NOPE"])
+
+
+def test_engine_baseline_suppression_and_exit_code():
+    engine = LintEngine()
+    report = engine.lint_views(cluster=BAD_VIEW)
+    assert report.exit_code() == 1
+    baseline = Baseline()
+    for f in report.findings:
+        baseline.add(f)
+    suppressed_report = LintEngine(baseline=baseline).lint_views(
+        cluster=BAD_VIEW
+    )
+    assert suppressed_report.findings == []
+    assert len(suppressed_report.suppressed) == 1
+    assert suppressed_report.exit_code() == 0
+    assert suppressed_report.exit_code(strict=True) == 0
+    assert "suppressed" in suppressed_report.summary()
+
+
+def test_report_strict_promotes_warnings():
+    engine = LintEngine()
+    view = ClusterSpecView(
+        nodes=(NodeView(name="n", cpu=4, memory=2**30, gpu=0),),
+        pods=(
+            PodView(name="p", cpu=0.0, memory=0.0, has_requests=False),
+        ),  # SPEC002 warning only
+    )
+    report = engine.lint_views(cluster=view)
+    assert report.errors == [] and len(report.warnings) == 1
+    assert report.exit_code() == 0
+    assert report.exit_code(strict=True) == 1
+
+
+def test_report_render_json_shape():
+    report = LintEngine().lint_views(cluster=BAD_VIEW)
+    data = json.loads(report.render_json())
+    assert data["summary"]["errors"] == 1
+    assert data["findings"][0]["code"] == "SPEC001"
+
+
+def test_lint_paths_missing_target():
+    with pytest.raises(FileNotFoundError):
+        LintEngine().lint_paths(["/no/such/file.json"])
+
+
+# ---------------------------------------------------------------- registry
+
+
+def test_registry_duplicate_code_rejected():
+    from repro.analysis.registry import Rule
+
+    rule = registry.get("SPEC001")
+    with pytest.raises(ValueError, match="duplicate"):
+        registry.register(
+            Rule(
+                code="SPEC001",
+                name="dup",
+                pack="spec",
+                severity=Severity.ERROR,
+                description="",
+                check=lambda v: [],
+            )
+        )
+
+
+def test_registry_render_table_lists_every_code():
+    table = registry.render_table()
+    for code in registry.codes():
+        assert code in table

@@ -1,0 +1,158 @@
+"""``repro lint`` CLI: the acceptance-criteria exit codes and options."""
+
+from __future__ import annotations
+
+import json
+import pathlib
+
+from repro.cli import main
+
+FIXTURES = pathlib.Path(__file__).parent / "fixtures"
+REPO = pathlib.Path(__file__).resolve().parents[2]
+
+
+def run(argv, capsys):
+    code = main(argv)
+    captured = capsys.readouterr()
+    return code, captured.out, captured.err
+
+
+# ------------------------------------------------------- acceptance gates
+
+
+def test_lint_exits_nonzero_on_unschedulable_gpu_fixture(capsys):
+    code, out, _err = run(["lint", str(FIXTURES / "bad_gpu.json")], capsys)
+    assert code == 1
+    assert "SPEC001" in out
+    assert "16 GPUs" in out
+
+
+def test_lint_exits_nonzero_on_cyclic_workflow_fixture(capsys):
+    code, out, _err = run(
+        ["lint", str(FIXTURES / "cyclic_workflow.json")], capsys
+    )
+    assert code == 1
+    assert "DAG001" in out
+    assert "->" in out  # the full cycle path is quoted
+
+
+def test_lint_exits_nonzero_on_unseeded_rng_fixture(capsys):
+    code, out, _err = run(
+        ["lint", str(FIXTURES / "unseeded_rng.py")], capsys
+    )
+    assert code == 1
+    assert "DET001" in out
+
+
+def test_lint_exits_zero_on_clean_fixture(capsys):
+    code, out, _err = run(["lint", str(FIXTURES / "good_deploy.json")], capsys)
+    assert code == 0
+    assert "0 error(s)" in out
+
+
+def test_lint_exits_zero_on_shipped_examples(capsys):
+    code, _out, _err = run(
+        ["lint", "--strict", str(REPO / "examples")], capsys
+    )
+    assert code == 0
+
+
+def test_lint_exits_zero_on_package_sources(capsys):
+    code, _out, _err = run(
+        ["lint", "--strict", str(REPO / "src" / "repro")], capsys
+    )
+    assert code == 0
+
+
+def test_lint_default_target_testbed_and_connect(capsys):
+    # No paths: lint the built testbed + the CONNECT workflow.
+    code, out, _err = run(["lint", "--scale", "0.001"], capsys)
+    assert code == 0
+    assert "0 error(s)" in out
+
+
+# ----------------------------------------------------------------- options
+
+
+def test_lint_json_format(capsys):
+    code, out, _err = run(
+        ["lint", "--format", "json", str(FIXTURES / "bad_gpu.json")], capsys
+    )
+    assert code == 1
+    data = json.loads(out)
+    assert data["summary"]["errors"] >= 1
+    assert data["findings"][0]["code"] == "SPEC001"
+
+
+def test_lint_select_and_disable(capsys):
+    target = str(FIXTURES / "bad_gpu.json")
+    code, out, _err = run(["lint", "--disable", "SPEC001", target], capsys)
+    assert code == 0
+    code, out, _err = run(["lint", "--select", "SPEC002", target], capsys)
+    assert code == 0
+    code, out, _err = run(["lint", "--select", "SPEC001", target], capsys)
+    assert code == 1
+
+
+def test_lint_strict_fails_on_warnings(capsys):
+    fixture = FIXTURES / "warn_only.json"
+    code, out, _err = run(["lint", str(fixture)], capsys)
+    assert code == 0  # warnings alone pass by default
+    code, out, _err = run(["lint", "--strict", str(fixture)], capsys)
+    assert code == 1
+    assert "SPEC004" in out
+
+
+def test_lint_unknown_rule_code_is_usage_error(capsys):
+    code, _out, err = run(
+        ["lint", "--select", "SPEC999", str(FIXTURES / "bad_gpu.json")],
+        capsys,
+    )
+    assert code == 2
+    assert "SPEC999" in err
+
+
+def test_lint_missing_path_is_usage_error(capsys):
+    code, _out, err = run(["lint", "/no/such/thing.json"], capsys)
+    assert code == 2
+    assert "no such lint target" in err
+
+
+def test_lint_list_rules(capsys):
+    code, out, _err = run(["lint", "--list-rules"], capsys)
+    assert code == 0
+    for prefix in ("SPEC001", "DAG001", "DET001"):
+        assert prefix in out
+
+
+# ---------------------------------------------------------------- baseline
+
+
+def test_lint_baseline_roundtrip(tmp_path, capsys):
+    target = str(FIXTURES / "bad_gpu.json")
+    baseline = tmp_path / "baseline.json"
+
+    # Without a baseline the fixture fails.
+    code, _out, _err = run(["lint", target], capsys)
+    assert code == 1
+
+    # Accept the current findings into a baseline.
+    code, out, _err = run(
+        ["lint", "--baseline", str(baseline), "--update-baseline", target],
+        capsys,
+    )
+    assert code == 0
+    assert baseline.exists()
+
+    # With the baseline the same findings are suppressed.
+    code, out, _err = run(["lint", "--baseline", str(baseline), target], capsys)
+    assert code == 0
+    assert "suppressed" in out
+
+
+def test_lint_update_baseline_requires_path(capsys):
+    code, _out, err = run(
+        ["lint", "--update-baseline", str(FIXTURES / "bad_gpu.json")], capsys
+    )
+    assert code == 2
+    assert "--baseline" in err

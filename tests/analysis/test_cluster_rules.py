@@ -1,0 +1,277 @@
+"""Spec pack (SPEC001–SPEC007) over fixtures, live clusters, admission."""
+
+from __future__ import annotations
+
+import pathlib
+
+import pytest
+
+from repro.analysis import (
+    ClusterSpecView,
+    JobView,
+    NamespaceView,
+    NodeView,
+    PodView,
+    ServiceView,
+    Severity,
+    cluster_view,
+    lint_cluster,
+    registry,
+)
+from repro.analysis.cluster_rules import run_spec_rules
+from repro.cluster import (
+    Cluster,
+    ContainerSpec,
+    PodSpec,
+    ResourceRequirements,
+)
+from repro.cluster.node import fiona8_node_spec, fiona_node_spec
+from repro.errors import AdmissionError
+from repro.sim import Environment
+
+FIXTURES = pathlib.Path(__file__).parent / "fixtures"
+
+FIONA8 = NodeView(name="fiona8", cpu=24, memory=96 * 2**30, gpu=8)
+DTN = NodeView(name="dtn", cpu=24, memory=96 * 2**30, gpu=0)
+
+
+def codes_of(findings):
+    return {f.code for f in findings}
+
+
+def _pod(name="p", cpu=1.0, memory=2**30, gpu=0, **kwargs) -> PodView:
+    return PodView(name=name, cpu=cpu, memory=memory, gpu=gpu, **kwargs)
+
+
+# ---------------------------------------------------------------- SPEC001
+
+
+def test_spec001_gpu_request_over_largest_node():
+    view = ClusterSpecView(nodes=(FIONA8, DTN), pods=(_pod(gpu=16),))
+    findings = run_spec_rules(view)
+    assert codes_of(findings) == {"SPEC001"}
+    (finding,) = findings
+    assert finding.severity is Severity.ERROR
+    assert "16 GPUs" in finding.message
+    assert "largest node has 8" in finding.message
+
+
+def test_spec001_cpu_and_memory_dimensions():
+    view = ClusterSpecView(nodes=(FIONA8,), pods=(_pod(cpu=48.0),))
+    assert codes_of(run_spec_rules(view)) == {"SPEC001"}
+    view = ClusterSpecView(nodes=(FIONA8,), pods=(_pod(memory=200 * 2**30),))
+    assert codes_of(run_spec_rules(view)) == {"SPEC001"}
+
+
+def test_spec001_fitting_pod_is_clean():
+    view = ClusterSpecView(nodes=(FIONA8,), pods=(_pod(gpu=8, cpu=24.0),))
+    assert codes_of(run_spec_rules(view)) == set()
+
+
+def test_spec001_job_template_counts_once():
+    template = _pod(name="worker", gpu=9, kind="Job")
+    job = JobView(name="j", parallelism=5, template=template)
+    view = ClusterSpecView(nodes=(FIONA8,), jobs=(job,))
+    findings = [f for f in run_spec_rules(view) if f.code == "SPEC001"]
+    assert len(findings) == 1  # not one per parallel slot
+
+
+# ---------------------------------------------------------------- SPEC002
+
+
+def test_spec002_missing_requests():
+    view = ClusterSpecView(
+        nodes=(FIONA8,), pods=(_pod(cpu=0.0, memory=0.0, has_requests=False),)
+    )
+    findings = run_spec_rules(view)
+    assert "SPEC002" in codes_of(findings)
+    (f,) = [f for f in findings if f.code == "SPEC002"]
+    assert f.severity is Severity.WARNING
+
+
+# ---------------------------------------------------------------- SPEC003
+
+
+def test_spec003_long_running_without_liveness():
+    view = ClusterSpecView(
+        nodes=(FIONA8,), pods=(_pod(long_running=True, has_liveness=False),)
+    )
+    assert "SPEC003" in codes_of(run_spec_rules(view))
+    view = ClusterSpecView(
+        nodes=(FIONA8,), pods=(_pod(long_running=True, has_liveness=True),)
+    )
+    assert "SPEC003" not in codes_of(run_spec_rules(view))
+
+
+# ---------------------------------------------------------------- SPEC004
+
+
+def test_spec004_zero_backoff_job():
+    job = JobView(name="fragile", backoff_limit=0, template=_pod(kind="Job"))
+    view = ClusterSpecView(nodes=(FIONA8,), jobs=(job,))
+    assert "SPEC004" in codes_of(run_spec_rules(view))
+
+
+# ---------------------------------------------------------------- SPEC005
+
+
+def test_spec005_quota_oversubscription():
+    ns = NamespaceView(name="small", quota_gpu=4)
+    pods = tuple(
+        _pod(name=f"p{i}", gpu=2, namespace="small") for i in range(3)
+    )
+    view = ClusterSpecView(nodes=(FIONA8,), namespaces=(ns,), pods=pods)
+    findings = [f for f in run_spec_rules(view) if f.code == "SPEC005"]
+    assert len(findings) == 1
+    assert "gpu 6 > 4" in findings[0].message
+
+
+def test_spec005_within_quota_is_clean():
+    ns = NamespaceView(name="small", quota_gpu=8)
+    pods = (_pod(gpu=2, namespace="small"),)
+    view = ClusterSpecView(nodes=(FIONA8,), namespaces=(ns,), pods=pods)
+    assert "SPEC005" not in codes_of(run_spec_rules(view))
+
+
+# ---------------------------------------------------------------- SPEC006
+
+
+def test_spec006_quota_exceeds_cluster():
+    ns = NamespaceView(name="greedy", quota_gpu=100)
+    view = ClusterSpecView(nodes=(FIONA8,), namespaces=(ns,))
+    assert "SPEC006" in codes_of(run_spec_rules(view))
+
+
+# ---------------------------------------------------------------- SPEC007
+
+
+def test_spec007_service_selects_nothing():
+    svc = ServiceView(name="lonely", selector={"app": "ghost"})
+    view = ClusterSpecView(nodes=(FIONA8,), services=(svc,))
+    findings = [f for f in run_spec_rules(view) if f.code == "SPEC007"]
+    assert len(findings) == 1
+    assert "app=ghost" in findings[0].message
+
+
+def test_spec007_matched_selector_is_clean():
+    svc = ServiceView(name="redis", selector={"app": "redis"})
+    pod = _pod(labels={"app": "redis"})
+    view = ClusterSpecView(nodes=(FIONA8,), services=(svc,), pods=(pod,))
+    assert "SPEC007" not in codes_of(run_spec_rules(view))
+
+
+# ----------------------------------------------------------- live adapter
+
+
+def _live_cluster() -> Cluster:
+    cluster = Cluster(Environment(), name="test")
+    cluster.add_node(fiona8_node_spec("fiona8-00", site="UCSD"))
+    cluster.add_node(fiona_node_spec("dtn-00", site="UCSD"))
+    return cluster
+
+
+def _spec(cpu=1, memory="1G", gpu=0) -> PodSpec:
+    def main(ctx):
+        yield ctx.env.timeout(1.0)
+
+    return PodSpec(
+        containers=[
+            ContainerSpec(
+                name="c",
+                image="img",
+                main=main,
+                resources=ResourceRequirements(cpu=cpu, memory=memory, gpu=gpu),
+            )
+        ]
+    )
+
+
+def test_cluster_view_adapter_and_lint_cluster():
+    cluster = _live_cluster()
+    view = cluster_view(cluster)
+    assert {n.name for n in view.nodes} == {"fiona8-00", "dtn-00"}
+    assert max(n.gpu for n in view.nodes) == 8
+    assert lint_cluster(cluster) == []
+
+
+# -------------------------------------------------------- admission hook
+
+
+def test_admission_rejects_unschedulable_pod():
+    cluster = _live_cluster()
+    cluster.enable_admission_lint()
+    with pytest.raises(AdmissionError) as excinfo:
+        cluster.create_pod("huge", _spec(gpu=16))
+    assert "SPEC001" in str(excinfo.value)
+    assert excinfo.value.findings
+    # The pod was never admitted.
+    assert ("default", "huge") not in cluster.pods
+
+
+def test_admission_allows_schedulable_pod():
+    cluster = _live_cluster()
+    cluster.enable_admission_lint()
+    pod = cluster.create_pod("fine", _spec(gpu=1))
+    assert pod.meta.name == "fine"
+
+
+def test_admission_warns_without_rejecting():
+    cluster = _live_cluster()
+    cluster.enable_admission_lint()
+    # No requests at all -> SPEC002 warning, recorded as an event.
+    def main(ctx):
+        yield ctx.env.timeout(1.0)
+
+    bare = PodSpec(
+        containers=[ContainerSpec(name="c", image="img", main=main)]
+    )
+    cluster.create_pod("bare", bare)
+    events = [
+        e for e in cluster.events if e.reason == "AdmissionLintWarning"
+    ]
+    assert events and "SPEC002" in events[0].message
+
+
+def test_admission_rejects_oversized_job_template():
+    from repro.cluster import JobSpec
+
+    cluster = _live_cluster()
+    cluster.enable_admission_lint()
+    with pytest.raises(AdmissionError):
+        cluster.create_job(
+            "huge-job",
+            JobSpec(template=lambda i: _spec(gpu=16), completions=2,
+                    parallelism=2),
+        )
+    assert ("default", "huge-job") not in cluster.jobs
+
+
+def test_admission_disabled_by_default_and_toggleable():
+    cluster = _live_cluster()
+    pod = cluster.create_pod("huge", _spec(gpu=16))  # only Pending forever
+    assert pod in cluster.pending_pods() or pod is not None
+    cluster.enable_admission_lint()
+    with pytest.raises(AdmissionError):
+        cluster.create_pod("huge2", _spec(gpu=16))
+    cluster.disable_admission_lint()
+    cluster.create_pod("huge3", _spec(gpu=16))
+
+
+def test_admission_unknown_code_fails_loudly():
+    cluster = _live_cluster()
+    with pytest.raises(KeyError):
+        cluster.enable_admission_lint(codes=("SPEC999",))
+
+
+def test_testbed_admission_lint_param():
+    from repro.testbed import build_nautilus_testbed
+
+    testbed = build_nautilus_testbed(seed=1, scale=0.001, admission_lint=True)
+    with pytest.raises(AdmissionError):
+        testbed.cluster.create_pod("huge", _spec(gpu=16))
+
+
+def test_registry_spec_pack_complete():
+    assert registry.codes(pack="spec") == [
+        f"SPEC00{i}" for i in range(1, 8)
+    ]

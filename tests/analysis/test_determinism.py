@@ -1,0 +1,200 @@
+"""Det pack (DET000–DET004): the AST determinism sanitizer."""
+
+from __future__ import annotations
+
+import pathlib
+import textwrap
+
+from repro.analysis import Severity, is_sim_path, lint_python_paths, lint_source
+
+FIXTURES = pathlib.Path(__file__).parent / "fixtures"
+
+SIM = "src/repro/sim/engine.py"
+PLAIN = "src/repro/viz/plots.py"
+
+
+def lint(source: str, path: str = SIM):
+    return lint_source(textwrap.dedent(source), path=path)
+
+
+def codes_of(findings):
+    return {f.code for f in findings}
+
+
+# --------------------------------------------------------------- sim paths
+
+
+def test_is_sim_path():
+    assert is_sim_path("src/repro/sim/kernel.py")
+    assert is_sim_path("src/repro/netsim/flows.py")
+    assert is_sim_path("src/repro/cluster/chaos_injector.py")
+    assert not is_sim_path("src/repro/viz/plots.py")
+    assert not is_sim_path("src/repro/similarity.py")  # 'sim' only as a dir
+
+
+# ----------------------------------------------------------------- DET001
+
+
+def test_det001_unseeded_default_rng():
+    findings = lint("""
+        import numpy as np
+        rng = np.random.default_rng()
+    """)
+    assert codes_of(findings) == {"DET001"}
+    assert findings[0].severity is Severity.ERROR
+
+
+def test_det001_seeded_rng_is_clean():
+    assert lint("""
+        import numpy as np
+        rng = np.random.default_rng(42)
+        rng2 = np.random.default_rng(seed=7)
+    """) == []
+
+
+def test_det001_from_import_and_alias():
+    findings = lint("""
+        from numpy.random import default_rng
+        r = default_rng()
+    """)
+    assert codes_of(findings) == {"DET001"}
+    findings = lint("""
+        import numpy.random as npr
+        r = npr.RandomState()
+    """)
+    assert codes_of(findings) == {"DET001"}
+
+
+def test_det001_fires_outside_sim_paths_too():
+    findings = lint("import numpy as np\nr = np.random.default_rng()\n",
+                    path=PLAIN)
+    assert codes_of(findings) == {"DET001"}
+    assert findings[0].severity is Severity.ERROR
+
+
+def test_unrelated_default_rng_name_not_flagged():
+    # A local helper that happens to be called default_rng, no numpy link.
+    assert lint("""
+        def default_rng():
+            return 4
+        r = default_rng()
+    """) == []
+
+
+# ----------------------------------------------------------------- DET002
+
+
+def test_det002_stdlib_random_severity_by_path():
+    src = "import random\nx = random.randint(0, 5)\n"
+    (sim_f,) = lint_source(src, path=SIM)
+    assert sim_f.code == "DET002" and sim_f.severity is Severity.ERROR
+    (plain_f,) = lint_source(src, path=PLAIN)
+    assert plain_f.severity is Severity.WARNING
+
+
+def test_det002_aliased_import():
+    findings = lint("import random as rnd\nx = rnd.random()\n")
+    assert codes_of(findings) == {"DET002"}
+
+
+# ----------------------------------------------------------------- DET003
+
+
+def test_det003_wall_clock_reads():
+    findings = lint("""
+        import time
+        from datetime import datetime
+        a = time.time()
+        b = time.time_ns()
+        c = datetime.now()
+        d = datetime.utcnow()
+    """)
+    assert codes_of(findings) == {"DET003"}
+    assert len(findings) == 4
+    assert all(f.severity is Severity.ERROR for f in findings)
+
+
+def test_det003_monotonic_not_flagged():
+    # time.monotonic / perf_counter are not in the flagged set (they are
+    # still wall-clock-ish, but the rule targets the common offenders).
+    assert lint("import time\nx = time.monotonic()\n") == []
+
+
+# ----------------------------------------------------------------- DET004
+
+
+def test_det004_module_level_mutable_state_in_sim():
+    findings = lint("""
+        CACHE = {}
+        ITEMS = []
+        SEEN = set()
+    """)
+    assert codes_of(findings) == {"DET004"}
+    assert len(findings) == 3
+    assert all(f.severity is Severity.WARNING for f in findings)
+
+
+def test_det004_quiet_outside_sim_paths():
+    assert lint_source("CACHE = {}\n", path=PLAIN) == []
+
+
+def test_det004_ignores_function_and_class_scope():
+    assert lint("""
+        def f():
+            local = {}
+            return local
+
+        class C:
+            table = {}
+    """) == []
+
+
+def test_det004_ignores_dunders_and_immutables():
+    assert lint("""
+        __all__ = ["a", "b"]
+        NAMES = ("a", "b")
+        LIMIT = 5
+    """) == []
+
+
+def test_det004_constructor_calls():
+    findings = lint("""
+        from collections import defaultdict
+        REGISTRY = defaultdict(list)
+        TABLE = dict()
+    """)
+    assert codes_of(findings) == {"DET004"}
+    assert len(findings) == 2
+
+
+# ----------------------------------------------------------------- DET000
+
+
+def test_det000_syntax_error():
+    (f,) = lint_source("def broken(:\n", path=SIM)
+    assert f.code == "DET000"
+    assert f.severity is Severity.ERROR
+
+
+# ------------------------------------------------------------ path walking
+
+
+def test_lint_python_paths_fixture_file():
+    findings = lint_python_paths([FIXTURES / "unseeded_rng.py"])
+    assert "DET001" in codes_of(findings)
+    errors = [f for f in findings if f.severity is Severity.ERROR]
+    assert errors  # the acceptance fixture must fail the lint
+
+
+def test_lint_python_paths_directory_recurses():
+    findings = lint_python_paths([FIXTURES])
+    assert "DET001" in codes_of(findings)
+
+
+def test_repo_sources_are_clean():
+    # Satellite: the sanitizer run over the shipped package finds nothing
+    # (no unseeded RNGs, no wall-clock reads, no module-level mutable
+    # state on simulation paths).
+    root = pathlib.Path(__file__).resolve().parents[2]
+    findings = lint_python_paths([root / "src" / "repro"])
+    assert findings == []

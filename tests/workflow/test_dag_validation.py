@@ -1,0 +1,147 @@
+"""DAG validation edge cases: cycle paths, names in errors, ordering.
+
+Satellite coverage for the static-analysis PR: `Workflow` construction
+errors carry the workflow name and—for cycles—the full offending path,
+deterministically regardless of step declaration order.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.errors import ValidationError
+from repro.workflow import Workflow, WorkflowStep
+
+
+def _step(name: str, **kwargs) -> WorkflowStep:
+    return WorkflowStep(name, **kwargs)
+
+
+# ------------------------------------------------------------------ cycles
+
+
+def test_cycle_error_names_full_path():
+    a = _step("a").after("c")
+    b = _step("b").after("a")
+    c = _step("c").after("b")
+    with pytest.raises(ValidationError) as excinfo:
+        Workflow("w", [a, b, c])
+    message = str(excinfo.value)
+    assert "workflow 'w'" in message
+    # Path follows dependency edges (a depends on c, c on b, b on a),
+    # rotated to start at the lexicographically smallest member.
+    assert "dependency cycle: a -> c -> b -> a" in message
+
+
+def test_cycle_error_deterministic_across_declaration_order():
+    def build(order):
+        steps = {
+            "a": _step("a").after("c"),
+            "b": _step("b").after("a"),
+            "c": _step("c").after("b"),
+        }
+        with pytest.raises(ValidationError) as excinfo:
+            Workflow("w", [steps[n] for n in order])
+        return str(excinfo.value)
+
+    messages = {
+        build(order)
+        for order in (("a", "b", "c"), ("c", "b", "a"), ("b", "c", "a"))
+    }
+    # Same graph -> same quoted cycle, whatever the insertion order.
+    assert len(messages) == 1
+    assert "a -> c -> b -> a" in messages.pop()
+
+
+def test_two_step_cycle_path():
+    a = _step("a").after("b")
+    b = _step("b").after("a")
+    with pytest.raises(ValidationError, match=r"a -> b -> a"):
+        Workflow("pair", [a, b])
+
+
+def test_self_dependency_rejected():
+    a = _step("a").after("a")
+    with pytest.raises(ValidationError) as excinfo:
+        Workflow("selfie", [a])
+    message = str(excinfo.value)
+    assert "workflow 'selfie'" in message
+    assert "step 'a' depends on itself" in message
+
+
+# ----------------------------------------------------------- name hygiene
+
+
+def test_duplicate_step_names_rejected_with_workflow_name():
+    with pytest.raises(ValidationError) as excinfo:
+        Workflow("dupes", [_step("x"), _step("y"), _step("x")])
+    message = str(excinfo.value)
+    assert "workflow 'dupes'" in message
+    assert "'x'" in message
+
+
+def test_empty_workflow_rejected_with_workflow_name():
+    with pytest.raises(ValidationError, match=r"workflow 'void'"):
+        Workflow("void", [])
+
+
+def test_unknown_dependency_rejected_with_workflow_name():
+    a = _step("a").after("ghost")
+    with pytest.raises(ValidationError) as excinfo:
+        Workflow("haunted", [a])
+    message = str(excinfo.value)
+    assert "workflow 'haunted'" in message
+    assert "unknown step 'ghost'" in message
+
+
+# -------------------------------------------------------------- structure
+
+
+def test_single_step_workflow():
+    wf = Workflow("solo", [_step("only")])
+    assert wf.order == ["only"]
+    assert len(wf) == 1
+
+
+def test_fan_out_fan_in_order_is_declaration_stable():
+    def build():
+        a = _step("a")
+        b = _step("b").after("a")
+        c = _step("c").after("a")
+        d = _step("d").after("b", "c")
+        return Workflow("diamond", [a, b, c, d])
+
+    order = build().order
+    assert order == ["a", "b", "c", "d"]
+    # Rebuilding yields the identical order (no set/dict nondeterminism).
+    assert build().order == order
+
+
+def test_fan_out_declared_backwards_still_topological():
+    d = _step("d").after("b", "c")
+    c = _step("c").after("a")
+    b = _step("b").after("a")
+    a = _step("a")
+    order = Workflow("diamond", [d, c, b, a]).order
+    assert order.index("a") < order.index("b")
+    assert order.index("a") < order.index("c")
+    assert order.index("d") == 3
+
+
+# ------------------------------------------------------- advisory findings
+
+
+def test_construction_keeps_advisory_findings():
+    network = _step("fetch", image="chase-ci/thredds-downloader:1.2")
+    crunch = _step("crunch").after("fetch")
+    wf = Workflow("advice", [network, crunch])
+    codes = {f.code for f in wf.lint_findings}
+    # fetch has no timeout/retry budget -> DAG005 warning, kept (not raised)
+    assert "DAG005" in codes
+
+
+def test_clean_workflow_has_no_findings():
+    a = _step("a", max_retries=1, timeout_s=60.0)
+    b = _step("b").after("a")
+    wf = Workflow("clean", [a, b])
+    assert wf.lint_findings == []
