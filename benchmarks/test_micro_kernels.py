@@ -10,7 +10,11 @@ import numpy as np
 import pytest
 
 from repro.data.merra import GridSpec, MerraGenerator
-from repro.ml.conv3d import conv3d_backward, conv3d_forward
+from repro.ml.conv3d import (
+    conv3d_backward,
+    conv3d_forward,
+    conv3d_forward_batch,
+)
 from repro.ml.connect import label_volume
 from repro.ml.ffn import FFNConfig, FFNModel
 from repro.netsim.flows import CapacityResource, Flow, max_min_rates
@@ -38,6 +42,24 @@ def test_micro_conv3d_backward(benchmark, conv_inputs):
     grad_y = np.ones((8, 16, 16, 16), dtype=np.float32)
     gx, gw, gb = benchmark(conv3d_backward, x, w, grad_y)
     assert gx.shape == x.shape
+
+
+def test_micro_conv3d_forward_batch(benchmark, conv_inputs):
+    x, w, b = conv_inputs
+    xb = np.broadcast_to(x, (16, *x.shape)).copy()
+    y = benchmark(conv3d_forward_batch, xb, w, b)
+    assert y.shape == (16, 8, 16, 16, 16)
+    # Batched item i is bit-for-bit the unbatched result.
+    np.testing.assert_array_equal(y[0], conv3d_forward(x, w, b))
+
+
+def test_micro_ffn_forward_batch(benchmark):
+    model = FFNModel(FFNConfig(fov=(9, 9, 9), filters=8, modules=2, seed=0))
+    rng = np.random.default_rng(1)
+    images = rng.normal(size=(24, 9, 9, 9)).astype(np.float32)
+    masks = np.full((24, 9, 9, 9), model.config.init_logit, dtype=np.float32)
+    out = benchmark(model.forward_batch, images, masks)
+    assert out.shape == (24, 9, 9, 9)
 
 
 def test_micro_ffn_forward(benchmark):

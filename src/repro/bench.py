@@ -1,0 +1,341 @@
+"""Macro-benchmark harness: the batched compute engine vs its serial path.
+
+``python -m repro bench`` runs the three macro-benchmarks of the batched
+FFN compute engine —
+
+- ``conv3d_batched``: one batched ``conv3d_forward_batch`` over ``N``
+  FOV-sized inputs vs ``N`` unbatched ``conv3d_forward`` calls;
+- ``flood_fill_wavefront``: a single seeded flood with the ``"batched"``
+  wavefront engine vs the ``"serial"`` per-patch reference;
+- ``segment_volume_wavefront``: whole-volume segmentation on the macro
+  shape, batched vs serial (the headline number);
+- ``distributed_fanout``: ``distributed_segment`` on a process pool
+  (``max_workers>1``) vs the in-process shard loop (``max_workers=1``);
+
+— and writes a ``BENCH_<date>.json`` artifact recording wall times,
+speedups, and SHA-256 output checksums, so successive PRs accumulate a
+performance trajectory.  Checksums of the compared paths must match:
+a speedup that changes the answer is a bug, not a win.
+
+Timings use ``time.perf_counter`` (monotonic durations); the only
+wall-clock read is the artifact's date stamp.  All inputs are seeded,
+so the *outputs* (and their checksums) are deterministic even though
+the timings are not.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import hashlib
+import json
+import os
+import pathlib
+import sys
+import time
+import typing as _t
+
+import numpy as np
+
+from repro._version import __version__
+from repro.ml.conv3d import conv3d_forward, conv3d_forward_batch
+from repro.ml.distributed_inference import distributed_segment
+from repro.ml.ffn import FFNConfig, FFNModel
+from repro.ml.inference import flood_fill, segment_volume
+from repro.ml.training import FFNTrainer
+
+__all__ = [
+    "BenchRecord",
+    "benchmark_world",
+    "run_benchmarks",
+    "write_artifact",
+    "render_summary",
+]
+
+
+@dataclasses.dataclass
+class BenchRecord:
+    """One benchmark: a baseline path timed against an optimized path."""
+
+    name: str
+    baseline: str
+    optimized: str
+    baseline_seconds: float
+    optimized_seconds: float
+    checksum_baseline: str
+    checksum_optimized: str
+    meta: dict[str, _t.Any] = dataclasses.field(default_factory=dict)
+
+    @property
+    def speedup(self) -> float:
+        if self.optimized_seconds <= 0:
+            return float("inf")
+        return self.baseline_seconds / self.optimized_seconds
+
+    @property
+    def outputs_identical(self) -> bool:
+        return self.checksum_baseline == self.checksum_optimized
+
+    def to_json(self) -> dict:
+        return {
+            "name": self.name,
+            "baseline": self.baseline,
+            "optimized": self.optimized,
+            "baseline_seconds": round(self.baseline_seconds, 6),
+            "optimized_seconds": round(self.optimized_seconds, 6),
+            "speedup": round(self.speedup, 3),
+            "checksum_baseline": self.checksum_baseline,
+            "checksum_optimized": self.checksum_optimized,
+            "outputs_identical": self.outputs_identical,
+            "meta": self.meta,
+        }
+
+
+def _checksum(arr: np.ndarray) -> str:
+    """Shape/dtype-qualified SHA-256 of an array's exact bytes."""
+    h = hashlib.sha256()
+    h.update(str(arr.shape).encode())
+    h.update(str(arr.dtype).encode())
+    h.update(np.ascontiguousarray(arr).tobytes())
+    return h.hexdigest()[:16]
+
+
+def _time_best(fn: _t.Callable[[], np.ndarray], repeat: int) -> tuple[float, np.ndarray]:
+    """Best-of-``repeat`` wall time; returns (seconds, last output)."""
+    best = float("inf")
+    out: np.ndarray | None = None
+    for _ in range(max(1, repeat)):
+        t0 = time.perf_counter()
+        out = fn()
+        best = min(best, time.perf_counter() - t0)
+    assert out is not None
+    return best, out
+
+
+def _blob_volume(
+    shape: tuple[int, int, int],
+    centers: _t.Sequence[tuple[int, int, int]],
+    radius: float = 4.0,
+    noise: float = 0.05,
+    seed: int = 0,
+) -> tuple[np.ndarray, np.ndarray]:
+    """Bright spherical blobs on noise, plus the binary ground truth."""
+    rng = np.random.default_rng(seed)
+    zz, yy, xx = np.meshgrid(*map(np.arange, shape), indexing="ij")
+    vol = rng.normal(0.0, noise, size=shape)
+    truth = np.zeros(shape, dtype=np.uint8)
+    for cz, cy, cx in centers:
+        d2 = (zz - cz) ** 2 + (yy - cy) ** 2 + (xx - cx) ** 2
+        vol += 2.0 * np.exp(-d2 / (2 * radius**2))
+        truth |= (d2 <= radius**2).astype(np.uint8)
+    return vol.astype(np.float32), truth
+
+
+def benchmark_world(smoke: bool = False, seed: int = 42) -> dict:
+    """The seeded macro-benchmark fixture: a trained model + volumes.
+
+    The model (weight-init seed, trainer seed, training volume) is
+    **pinned**: the benchmark needs a network that actually floods, or
+    every frontier degenerates to one FOV and the run measures nothing.
+    ``seed`` varies only the macro volume's noise.  ``smoke`` shrinks
+    every shape so the whole run finishes in seconds (the CI smoke job);
+    the full shapes are the measured trajectory.
+    """
+    cfg = FFNConfig(fov=(5, 5, 5), filters=6, modules=1, seed=1)
+    if smoke:
+        train_steps = 25
+        macro_shape = (12, 16, 16)
+        macro_centers = ((5, 8, 8),)
+        macro_radius = 3.0
+        n_shards, flood_steps = 2, 64
+    else:
+        train_steps = 100
+        macro_shape = (28, 48, 48)
+        macro_centers = (
+            (8, 12, 12), (14, 30, 30), (20, 12, 34),
+            (8, 34, 14), (20, 36, 12), (14, 14, 38),
+        )
+        macro_radius = 5.0
+        n_shards, flood_steps = 4, 256
+    train_vol, train_truth = _blob_volume(
+        (12, 16, 16), ((6, 8, 8),), radius=3.0, seed=0
+    )
+    model = FFNModel(cfg)
+    FFNTrainer(model, seed=0).train(train_vol, train_truth,
+                                    steps=train_steps)
+    macro_vol, macro_truth = _blob_volume(
+        macro_shape, macro_centers, radius=macro_radius, seed=seed + 7
+    )
+    return {
+        "model": model,
+        "macro_volume": macro_vol,
+        "macro_truth": macro_truth,
+        "macro_shape": macro_shape,
+        "flood_seed": macro_centers[0],
+        "flood_steps": flood_steps,
+        "n_shards": n_shards,
+        "smoke": smoke,
+    }
+
+
+def _bench_conv3d(smoke: bool, repeat: int, seed: int) -> BenchRecord:
+    rng = np.random.default_rng(seed)
+    n = 8 if smoke else 64
+    c, o, side = (2, 6, 5) if smoke else (2, 8, 9)
+    x = rng.normal(size=(n, c, side, side, side)).astype(np.float32)
+    w = (rng.normal(size=(o, c, 3, 3, 3)) * 0.1).astype(np.float32)
+    b = np.zeros(o, dtype=np.float32)
+
+    def serial() -> np.ndarray:
+        return np.stack([conv3d_forward(xi, w, b) for xi in x])
+
+    def batched() -> np.ndarray:
+        return conv3d_forward_batch(x, w, b)
+
+    t_s, out_s = _time_best(serial, repeat)
+    t_b, out_b = _time_best(batched, repeat)
+    return BenchRecord(
+        name="conv3d_batched",
+        baseline="loop of conv3d_forward",
+        optimized="conv3d_forward_batch",
+        baseline_seconds=t_s,
+        optimized_seconds=t_b,
+        checksum_baseline=_checksum(out_s),
+        checksum_optimized=_checksum(out_b),
+        meta={"batch": n, "channels": c, "filters": o, "side": side},
+    )
+
+
+def _bench_flood_fill(world: dict, repeat: int) -> BenchRecord:
+    model, vol = world["model"], world["macro_volume"]
+    seed_voxel, max_steps = world["flood_seed"], world["flood_steps"]
+
+    def run(engine: str) -> _t.Callable[[], np.ndarray]:
+        return lambda: flood_fill(
+            model, vol, seed_voxel, max_steps=max_steps, engine=engine
+        )
+
+    t_s, out_s = _time_best(run("serial"), repeat)
+    t_b, out_b = _time_best(run("batched"), repeat)
+    return BenchRecord(
+        name="flood_fill_wavefront",
+        baseline="serial per-FOV forwards",
+        optimized="wavefront-batched forwards",
+        baseline_seconds=t_s,
+        optimized_seconds=t_b,
+        checksum_baseline=_checksum(out_s),
+        checksum_optimized=_checksum(out_b),
+        meta={"volume": list(world["macro_shape"]), "max_steps": max_steps},
+    )
+
+
+def _bench_segment(world: dict, repeat: int) -> BenchRecord:
+    model, vol = world["model"], world["macro_volume"]
+
+    def run(engine: str) -> _t.Callable[[], np.ndarray]:
+        return lambda: segment_volume(model, vol, max_objects=16,
+                                      engine=engine)
+
+    t_s, out_s = _time_best(run("serial"), repeat)
+    t_b, out_b = _time_best(run("batched"), repeat)
+    return BenchRecord(
+        name="segment_volume_wavefront",
+        baseline="serial flood-fill engine",
+        optimized="wavefront-batched engine",
+        baseline_seconds=t_s,
+        optimized_seconds=t_b,
+        checksum_baseline=_checksum(out_s),
+        checksum_optimized=_checksum(out_b),
+        meta={
+            "volume": list(world["macro_shape"]),
+            "objects_found": int(out_b.max()),
+        },
+    )
+
+
+def _bench_distributed(world: dict, repeat: int, max_workers: int) -> BenchRecord:
+    model, vol = world["model"], world["macro_volume"]
+    n_shards = world["n_shards"]
+
+    def run(workers: int) -> _t.Callable[[], np.ndarray]:
+        return lambda: distributed_segment(
+            model, vol, n_workers=n_shards, halo=2, max_workers=workers
+        )[0]
+
+    t_s, out_s = _time_best(run(1), repeat)
+    t_p, out_p = _time_best(run(max_workers), repeat)
+    return BenchRecord(
+        name="distributed_fanout",
+        baseline="in-process shard loop (max_workers=1)",
+        optimized=f"process-pool fan-out (max_workers={max_workers})",
+        baseline_seconds=t_s,
+        optimized_seconds=t_p,
+        checksum_baseline=_checksum(out_s),
+        checksum_optimized=_checksum(out_p),
+        meta={
+            "volume": list(world["macro_shape"]),
+            "n_shards": n_shards,
+            "max_workers": max_workers,
+            "cpu_count": os.cpu_count(),
+        },
+    )
+
+
+def run_benchmarks(
+    smoke: bool = False,
+    repeat: int = 2,
+    max_workers: int | None = None,
+    seed: int = 42,
+) -> list[BenchRecord]:
+    """Run every macro-benchmark and return the records."""
+    if max_workers is None:
+        max_workers = max(2, min(4, os.cpu_count() or 2))
+    world = benchmark_world(smoke=smoke, seed=seed)
+    return [
+        _bench_conv3d(smoke, repeat, seed),
+        _bench_flood_fill(world, repeat),
+        _bench_segment(world, repeat),
+        _bench_distributed(world, repeat, max_workers),
+    ]
+
+
+def write_artifact(
+    records: _t.Sequence[BenchRecord],
+    out_dir: "str | pathlib.Path" = ".",
+    smoke: bool = False,
+    date: str | None = None,
+) -> pathlib.Path:
+    """Write ``BENCH_<date>.json`` into ``out_dir`` and return its path."""
+    # The date stamp is the one intentional wall-clock read in this
+    # module: the artifact names the day it measured.
+    date = date or time.strftime("%Y-%m-%d")
+    payload = {
+        "schema": "repro-bench/v1",
+        "version": __version__,
+        "date": date,
+        "smoke": smoke,
+        "python": sys.version.split()[0],
+        "numpy": np.__version__,
+        "cpu_count": os.cpu_count(),
+        "results": [r.to_json() for r in records],
+    }
+    out_dir = pathlib.Path(out_dir)
+    out_dir.mkdir(parents=True, exist_ok=True)
+    path = out_dir / f"BENCH_{date}{'_smoke' if smoke else ''}.json"
+    path.write_text(json.dumps(payload, indent=2) + "\n")
+    return path
+
+
+def render_summary(records: _t.Sequence[BenchRecord]) -> str:
+    """A fixed-width table of the benchmark outcomes."""
+    header = (
+        f"{'benchmark':<26} {'baseline':>10} {'optimized':>10} "
+        f"{'speedup':>8}  outputs"
+    )
+    lines = [header, "-" * len(header)]
+    for r in records:
+        lines.append(
+            f"{r.name:<26} {r.baseline_seconds:>9.3f}s "
+            f"{r.optimized_seconds:>9.3f}s {r.speedup:>7.2f}x  "
+            f"{'identical' if r.outputs_identical else 'DIFFER'}"
+        )
+    return "\n".join(lines)

@@ -14,6 +14,10 @@ Commands
     JSON spec fixtures and Python sources, or — with no paths — over
     the built testbed plus the CONNECT workflow.  Exits nonzero on
     error findings (and on warnings under ``--strict``).
+``bench``
+    Run the batched-compute macro-benchmarks (conv3d, wavefront flood
+    fill, segment_volume, distributed fan-out) and write a
+    ``BENCH_<date>.json`` trajectory artifact.
 ``version``
     Print the package version.
 """
@@ -106,6 +110,27 @@ def build_parser() -> argparse.ArgumentParser:
     p_lint.add_argument(
         "--list-rules", action="store_true",
         help="print every registered rule and exit",
+    )
+
+    p_bench = sub.add_parser(
+        "bench", help="run the batched-compute macro-benchmarks"
+    )
+    p_bench.add_argument("--seed", type=int, default=42, help="root seed")
+    p_bench.add_argument(
+        "--smoke", action="store_true",
+        help="tiny shapes (seconds, for CI); artifact is BENCH_<date>_smoke.json",
+    )
+    p_bench.add_argument(
+        "--repeat", type=int, default=2,
+        help="timing repetitions per path (best-of)",
+    )
+    p_bench.add_argument(
+        "--max-workers", type=int, default=None,
+        help="process-pool width for the distributed fan-out bench",
+    )
+    p_bench.add_argument(
+        "--out", default=".", metavar="DIR",
+        help="directory for the BENCH_<date>.json artifact",
     )
 
     sub.add_parser("version", help="print the package version")
@@ -239,6 +264,25 @@ def _cmd_lint(args: argparse.Namespace) -> int:
     return report.exit_code(strict=args.strict)
 
 
+def _cmd_bench(args: argparse.Namespace) -> int:
+    from repro.bench import render_summary, run_benchmarks, write_artifact
+
+    records = run_benchmarks(
+        smoke=args.smoke,
+        repeat=args.repeat,
+        max_workers=args.max_workers,
+        seed=args.seed,
+    )
+    path = write_artifact(records, out_dir=args.out, smoke=args.smoke)
+    print(render_summary(records))
+    print(f"\nwrote {path}")
+    if not all(r.outputs_identical for r in records):
+        print("ERROR: optimized path changed the output of at least one "
+              "benchmark", file=sys.stderr)
+        return 1
+    return 0
+
+
 def main(argv: _t.Sequence[str] | None = None) -> int:
     """Entry point; returns a process exit code."""
     args = build_parser().parse_args(argv)
@@ -253,4 +297,6 @@ def main(argv: _t.Sequence[str] | None = None) -> int:
         return _cmd_run(args)
     if args.command == "lint":
         return _cmd_lint(args)
+    if args.command == "bench":
+        return _cmd_bench(args)
     raise AssertionError(f"unhandled command {args.command!r}")  # pragma: no cover

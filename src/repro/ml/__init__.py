@@ -6,14 +6,18 @@ applied to NASA data using 50 NVIDIA 1080ti GPUs based on Tensorflow"
 (§III).  Both sides are implemented here, for real, in NumPy:
 
 - :mod:`repro.ml.conv3d` — vectorized 3-D convolution with full
-  backpropagation (the compute kernel of the FFN).
+  backpropagation (the compute kernel of the FFN), batched
+  (``(N,C,D,H,W)``) and unbatched; the unbatched API is an ``N=1``
+  wrapper so both paths share one numerical behaviour.
 - :mod:`repro.ml.ffn` — a faithful small-scale flood-filling network:
   residual conv stack over a two-channel (image, current-mask) input,
   logit-delta output, and the moving field-of-view (FOV) inference loop
   of Januszewski et al. [20].
 - :mod:`repro.ml.training` — patch-sampling SGD trainer.
 - :mod:`repro.ml.inference` — whole-volume segmentation by seeded flood
-  filling, plus the shard splitter used by the 50-GPU fan-out.
+  filling (wavefront-batched: one stacked FFN forward per BFS frontier,
+  with a bit-identical serial reference engine), plus the shard splitter
+  used by the 50-GPU fan-out.
 - :mod:`repro.ml.connect` — the CONNECT baseline: threshold + union-find
   connected-component labelling in time and space, with object life-cycle
   statistics [21][22].
@@ -23,7 +27,13 @@ applied to NASA data using 50 NVIDIA 1080ti GPUs based on Tensorflow"
   on 2.3e10 voxels / 50 GPUs), used when running at paper scale.
 """
 
-from repro.ml.conv3d import conv3d_forward, conv3d_backward, Conv3D
+from repro.ml.conv3d import (
+    conv3d_forward,
+    conv3d_backward,
+    conv3d_forward_batch,
+    conv3d_backward_batch,
+    Conv3D,
+)
 from repro.ml.ffn import FFNConfig, FFNModel
 from repro.ml.training import FFNTrainer, TrainingReport
 from repro.ml.inference import flood_fill, segment_volume, split_shards, ShardResult
@@ -53,6 +63,8 @@ from repro.ml.perfmodel import GPUPerfModel, GTX1080TI
 __all__ = [
     "conv3d_forward",
     "conv3d_backward",
+    "conv3d_forward_batch",
+    "conv3d_backward_batch",
     "Conv3D",
     "FFNConfig",
     "FFNModel",

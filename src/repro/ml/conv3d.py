@@ -1,4 +1,4 @@
-"""Vectorized 3-D convolution with backpropagation.
+"""Vectorized 3-D convolution with backpropagation, batched and unbatched.
 
 The FFN is "a 3D convolution neural network (3D CNN) ... able to separate
 objects within a 3D volume of spatial data or images by using a deep
@@ -8,12 +8,25 @@ framework uses), implemented with :func:`numpy.lib.stride_tricks.
 sliding_window_view` + ``tensordot`` so the hot loop is one BLAS call —
 views, not copies, per the HPC guide.
 
+The batched entry points carry a leading batch axis ``N`` and contract
+all ``N`` items in a single ``tensordot``; this is what makes wavefront
+flood filling (:mod:`repro.ml.inference`) and minibatch training
+(:mod:`repro.ml.training`) fast.  The unbatched functions are thin
+``N=1`` wrappers, so both paths share one code path and one numerical
+behaviour: per item, the contraction axes and their order are identical,
+which keeps batched and unbatched results bit-for-bit equal (the parity
+suite asserts this).
+
 Shapes
 ------
+Unbatched:
+
 - input   ``x``: ``(C_in, D, H, W)``
 - weights ``w``: ``(C_out, C_in, k, k, k)`` (odd ``k``)
 - bias    ``b``: ``(C_out,)``
 - output  ``y``: ``(C_out, D, H, W)``
+
+Batched: ``x``: ``(N, C_in, D, H, W)`` and ``y``: ``(N, C_out, D, H, W)``.
 """
 
 from __future__ import annotations
@@ -23,17 +36,23 @@ from numpy.lib.stride_tricks import sliding_window_view
 
 from repro.errors import ShapeError
 
-__all__ = ["conv3d_forward", "conv3d_backward", "Conv3D"]
+__all__ = [
+    "conv3d_forward",
+    "conv3d_backward",
+    "conv3d_forward_batch",
+    "conv3d_backward_batch",
+    "Conv3D",
+]
 
 
-def _check_shapes(x: np.ndarray, w: np.ndarray, b: np.ndarray) -> int:
-    if x.ndim != 4:
-        raise ShapeError(f"x must be (C,D,H,W), got {x.shape}")
+def _check_shapes_batch(x: np.ndarray, w: np.ndarray, b: np.ndarray) -> int:
+    if x.ndim != 5:
+        raise ShapeError(f"x must be (N,C,D,H,W), got {x.shape}")
     if w.ndim != 5 or w.shape[2] != w.shape[3] or w.shape[3] != w.shape[4]:
         raise ShapeError(f"w must be (O,C,k,k,k) with cubic kernel, got {w.shape}")
-    if w.shape[1] != x.shape[0]:
+    if w.shape[1] != x.shape[1]:
         raise ShapeError(
-            f"channel mismatch: x has {x.shape[0]}, w expects {w.shape[1]}"
+            f"channel mismatch: x has {x.shape[1]}, w expects {w.shape[1]}"
         )
     if b.shape != (w.shape[0],):
         raise ShapeError(f"b must be ({w.shape[0]},), got {b.shape}")
@@ -43,24 +62,97 @@ def _check_shapes(x: np.ndarray, w: np.ndarray, b: np.ndarray) -> int:
     return k
 
 
-def _windows(x: np.ndarray, k: int) -> np.ndarray:
-    """Same-padded sliding windows: ``(C, D, H, W, k, k, k)`` view."""
+def _windows_batch(x: np.ndarray, k: int) -> np.ndarray:
+    """Same-padded sliding windows: ``(N, C, D, H, W, k, k, k)`` view."""
     pad = k // 2
     xp = np.pad(
-        x, ((0, 0), (pad, pad), (pad, pad), (pad, pad)), mode="constant"
+        x,
+        ((0, 0), (0, 0), (pad, pad), (pad, pad), (pad, pad)),
+        mode="constant",
     )
-    return sliding_window_view(xp, (k, k, k), axis=(1, 2, 3))
+    return sliding_window_view(xp, (k, k, k), axis=(2, 3, 4))
+
+
+def conv3d_forward_batch(
+    x: np.ndarray, w: np.ndarray, b: np.ndarray
+) -> np.ndarray:
+    """Same-padded stride-1 3-D convolution over a batch ``(N,C,D,H,W)``.
+
+    The whole batch is one ``np.matmul`` call with the batch as the
+    gufunc stack axis: numpy runs an *identically shaped* GEMM per item,
+    so item ``i`` of the result is bit-for-bit the ``N=1`` result.  (A
+    single fused GEMM over ``N * D * H * W`` columns would be marginally
+    faster but is **not** per-item reproducible — BLAS edge-column
+    kernels change with the total column count, and the flood-fill
+    engines rely on exact batched/serial equivalence.)
+    """
+    k = _check_shapes_batch(x, w, b)
+    n, c = x.shape[:2]
+    spatial = x.shape[2:]
+    win = _windows_batch(x, k)  # (N, C, D, H, W, k, k, k) view
+    # (N, C*k^3, D*H*W): contraction axes (C, kz, ky, kx) ordered to
+    # match the weight layout; the reshape materializes the im2col copy.
+    win_mat = win.transpose(0, 1, 5, 6, 7, 2, 3, 4).reshape(
+        n, c * k**3, -1
+    )
+    w_mat = w.reshape(w.shape[0], c * k**3)
+    y = np.matmul(w_mat, win_mat)  # (N, O, D*H*W)
+    y = y.reshape(n, w.shape[0], *spatial)
+    return y + b[None, :, None, None, None]
 
 
 def conv3d_forward(
     x: np.ndarray, w: np.ndarray, b: np.ndarray
 ) -> np.ndarray:
-    """Same-padded stride-1 3-D convolution (cross-correlation)."""
-    k = _check_shapes(x, w, b)
-    win = _windows(x, k)  # (C, D, H, W, k, k, k)
-    # Contract over C and the three kernel axes in one tensordot.
-    y = np.tensordot(w, win, axes=([1, 2, 3, 4], [0, 4, 5, 6]))
-    return y + b[:, None, None, None]
+    """Same-padded stride-1 3-D convolution (cross-correlation).
+
+    Thin ``N=1`` wrapper over :func:`conv3d_forward_batch`.
+    """
+    if x.ndim != 4:
+        raise ShapeError(f"x must be (C,D,H,W), got {x.shape}")
+    return conv3d_forward_batch(x[None], w, b)[0]
+
+
+def conv3d_backward_batch(
+    x: np.ndarray,
+    w: np.ndarray,
+    grad_y: np.ndarray,
+) -> tuple[np.ndarray, np.ndarray, np.ndarray]:
+    """Gradients of a batched same-padded conv w.r.t. input, weights, bias.
+
+    Parameters
+    ----------
+    x:
+        The forward input ``(N, C, D, H, W)``.
+    w:
+        The forward weights ``(O, C, k, k, k)``.
+    grad_y:
+        Upstream gradient ``(N, O, D, H, W)``.
+
+    Returns
+    -------
+    ``(grad_x, grad_w, grad_b)`` where ``grad_x`` has the batch axis and
+    ``grad_w`` / ``grad_b`` are summed over the batch (minibatch
+    accumulation happens inside the ``tensordot``, not in Python).
+    """
+    k = w.shape[2]
+    if grad_y.shape != (x.shape[0], w.shape[0]) + x.shape[2:]:
+        raise ShapeError(
+            f"grad_y must be {(x.shape[0], w.shape[0]) + x.shape[2:]}, "
+            f"got {grad_y.shape}"
+        )
+    # dL/dw[o,c,a,b,g] = sum_{n,voxels} grad_y[n,o,...] * window(x)[n,c,...,a,b,g]
+    win = _windows_batch(x, k)
+    grad_w = np.tensordot(grad_y, win, axes=([0, 2, 3, 4], [0, 2, 3, 4]))
+    # tensordot leaves axes (O, C, k, k, k) already in the right order.
+    grad_b = grad_y.sum(axis=(0, 2, 3, 4))
+    # dL/dx is a full correlation of grad_y with spatially flipped kernels,
+    # with in/out channels swapped — i.e. another same-padded conv.
+    w_flip = w[:, :, ::-1, ::-1, ::-1].transpose(1, 0, 2, 3, 4)
+    grad_x = conv3d_forward_batch(
+        grad_y, np.ascontiguousarray(w_flip), np.zeros(w.shape[1], dtype=w.dtype)
+    )
+    return grad_x, grad_w, grad_b
 
 
 def conv3d_backward(
@@ -69,6 +161,8 @@ def conv3d_backward(
     grad_y: np.ndarray,
 ) -> tuple[np.ndarray, np.ndarray, np.ndarray]:
     """Gradients of a same-padded conv w.r.t. input, weights, bias.
+
+    Thin ``N=1`` wrapper over :func:`conv3d_backward_batch`.
 
     Parameters
     ----------
@@ -83,23 +177,12 @@ def conv3d_backward(
     -------
     (grad_x, grad_w, grad_b)
     """
-    k = w.shape[2]
     if grad_y.shape != (w.shape[0],) + x.shape[1:]:
         raise ShapeError(
             f"grad_y must be {(w.shape[0],) + x.shape[1:]}, got {grad_y.shape}"
         )
-    # dL/dw[o,c,a,b,g] = sum_voxels grad_y[o,...] * window(x)[c,...,a,b,g]
-    win = _windows(x, k)
-    grad_w = np.tensordot(grad_y, win, axes=([1, 2, 3], [1, 2, 3]))
-    # tensordot leaves axes (O, C, k, k, k) already in the right order.
-    grad_b = grad_y.sum(axis=(1, 2, 3))
-    # dL/dx is a full correlation of grad_y with spatially flipped kernels,
-    # with in/out channels swapped — i.e. another same-padded conv.
-    w_flip = w[:, :, ::-1, ::-1, ::-1].transpose(1, 0, 2, 3, 4)
-    grad_x = conv3d_forward(
-        grad_y, np.ascontiguousarray(w_flip), np.zeros(w.shape[1], dtype=w.dtype)
-    )
-    return grad_x, grad_w, grad_b
+    grad_x, grad_w, grad_b = conv3d_backward_batch(x[None], w, grad_y[None])
+    return grad_x[0], grad_w, grad_b
 
 
 class Conv3D:
@@ -131,11 +214,29 @@ class Conv3D:
         self._x = x
         return conv3d_forward(x, self.w, self.b)
 
+    def forward_batch(self, x: np.ndarray) -> np.ndarray:
+        """Batched forward over ``(N, C, D, H, W)``."""
+        self._x = x
+        return conv3d_forward_batch(x, self.w, self.b)
+
     def backward(self, grad_y: np.ndarray) -> np.ndarray:
         if self._x is None:
             raise ShapeError("backward() before forward()")
+        if self._x.ndim != 4:
+            raise ShapeError("backward() after forward_batch(); use backward_batch()")
         grad_x, gw, gb = conv3d_backward(self._x, self.w, grad_y)
         # Accumulate (zeroed by the optimizer step).
+        self.grad_w += gw
+        self.grad_b += gb
+        return grad_x
+
+    def backward_batch(self, grad_y: np.ndarray) -> np.ndarray:
+        """Batched backward; accumulates batch-summed parameter grads."""
+        if self._x is None:
+            raise ShapeError("backward_batch() before forward_batch()")
+        if self._x.ndim != 5:
+            raise ShapeError("backward_batch() after forward(); use backward()")
+        grad_x, gw, gb = conv3d_backward_batch(self._x, self.w, grad_y)
         self.grad_w += gw
         self.grad_b += gb
         return grad_x

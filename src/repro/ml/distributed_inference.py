@@ -15,10 +15,17 @@ reported twice.  A correct distributed segmentation therefore needs:
 This module implements that algorithm for real (NumPy + the disjoint-set
 forest from :mod:`repro.ml.connect`) and is validated against the
 monolithic segmentation in the test suite.
+
+The fan-out itself runs either in-process (``max_workers=1``, the
+default) or on a ``concurrent.futures`` process pool (``max_workers>1``)
+— each worker receives its shard slice and the pickled model state, and
+results are stitched in shard order regardless of completion order, so
+the output is identical for every worker count.
 """
 
 from __future__ import annotations
 
+import concurrent.futures
 import dataclasses
 import typing as _t
 
@@ -48,40 +55,57 @@ class ShardSegmentation:
     n_objects: int
 
 
-def _segment_one_shard(
-    model: FFNModel,
-    volume: np.ndarray,
-    t0: int,
-    t1: int,
-    halo: int,
-    shard_index: int,
-    max_objects: int,
-    seed_percentile: float,
-) -> ShardSegmentation:
+def _halo_bounds(
+    n_timesteps: int, t0: int, t1: int, halo: int, fov_t: int
+) -> tuple[int, int]:
+    """Shard slice bounds with halo, widened to at least one FOV of time."""
     lo = max(0, t0 - halo)
-    hi = min(volume.shape[0], t1 + halo)
-    fov_t = model.config.fov[0]
-    # The FFN needs at least one FOV of time depth.
-    while hi - lo < fov_t and (lo > 0 or hi < volume.shape[0]):
+    hi = min(n_timesteps, t1 + halo)
+    while hi - lo < fov_t and (lo > 0 or hi < n_timesteps):
         lo = max(0, lo - 1)
-        hi = min(volume.shape[0], hi + 1)
-    sub = volume[lo:hi]
-    local = segment_volume(
-        model, sub, max_objects=max_objects, seed_percentile=seed_percentile
-    )
-    owned = local[t0 - lo : t1 - lo]
-    # Compact ids so every shard's labels run 1..n.
+        hi = min(n_timesteps, hi + 1)
+    return lo, hi
+
+
+def _compact_labels(owned: np.ndarray) -> tuple[np.ndarray, int]:
+    """Renumber a label slab so its nonzero ids run 1..n (vectorized)."""
     ids = np.unique(owned)
     ids = ids[ids != 0]
-    compact = np.zeros(owned.shape, dtype=np.int32)
-    for new_id, old_id in enumerate(ids, start=1):
-        compact[owned == old_id] = new_id
+    if len(ids) == 0:
+        return np.zeros(owned.shape, dtype=np.int32), 0
+    compact = (np.searchsorted(ids, owned) + 1).astype(np.int32)
+    compact[owned == 0] = 0
+    return compact, len(ids)
+
+
+def _segment_shard_task(
+    payload: tuple,
+) -> ShardSegmentation:
+    """Process-pool task: segment one shard slice.
+
+    Module-level (picklable) and self-contained: it rebuilds the model
+    from its pickled config + state, so it runs identically in-process
+    and in a forked/spawned worker.
+    """
+    (config, state, sub, lo, t0, t1, shard_index, max_objects,
+     seed_percentile, engine) = payload
+    model = FFNModel(config)
+    model.load_state_dict(state)
+    local = segment_volume(
+        model,
+        sub,
+        max_objects=max_objects,
+        seed_percentile=seed_percentile,
+        engine=engine,
+    )
+    owned = local[t0 - lo : t1 - lo]
+    compact, n_objects = _compact_labels(owned)
     return ShardSegmentation(
         shard_index=shard_index,
         t0=t0,
         t1=t1,
         labels=compact,
-        n_objects=len(ids),
+        n_objects=n_objects,
     )
 
 
@@ -155,9 +179,24 @@ def distributed_segment(
     halo: int = 2,
     max_objects_per_shard: int = 16,
     seed_percentile: float = 97.0,
+    max_workers: int | None = None,
+    engine: str = "batched",
 ) -> tuple[np.ndarray, list[ShardSegmentation]]:
     """Segment ``volume`` as the paper's GPU fan-out would: shard the
     time axis, segment each shard (with halo), stitch.
+
+    Parameters
+    ----------
+    n_workers:
+        Number of logical shards (the paper's "50 GPUs").
+    max_workers:
+        Degree of *actual* parallelism: ``None`` or ``1`` segments the
+        shards in-process; ``>1`` fans them out on a process pool, each
+        worker receiving its shard slice and the pickled model state.
+        Results are gathered in shard order, so the stitched output is
+        identical for every ``max_workers`` value.
+    engine:
+        Flood-fill engine forwarded to :func:`segment_volume`.
 
     Returns ``(global_labels, shard_outputs)``.
     """
@@ -165,18 +204,30 @@ def distributed_segment(
         raise ShapeError(f"volume must be (T, H, W), got {volume.shape}")
     if halo < 0:
         raise ShapeError("halo must be >= 0")
+    if max_workers is not None and max_workers < 1:
+        raise ShapeError("max_workers must be >= 1")
     bounds = split_shards(volume.shape[0], n_workers)
-    shard_outputs = [
-        _segment_one_shard(
-            model,
-            volume,
-            t0,
-            t1,
-            halo,
-            shard_index=i,
-            max_objects=max_objects_per_shard,
-            seed_percentile=seed_percentile,
+    fov_t = model.config.fov[0]
+    config = model.config
+    state = model.state_dict()
+    payloads = []
+    for i, (t0, t1) in enumerate(bounds):
+        lo, hi = _halo_bounds(volume.shape[0], t0, t1, halo, fov_t)
+        # Ship a contiguous copy of just this shard's slice (what a real
+        # worker would receive over the wire).
+        sub = np.ascontiguousarray(volume[lo:hi])
+        payloads.append(
+            (config, state, sub, lo, t0, t1, i,
+             max_objects_per_shard, seed_percentile, engine)
         )
-        for i, (t0, t1) in enumerate(bounds)
-    ]
+    if max_workers is None or max_workers == 1 or len(payloads) == 1:
+        shard_outputs = [_segment_shard_task(p) for p in payloads]
+    else:
+        with concurrent.futures.ProcessPoolExecutor(
+            max_workers=min(max_workers, len(payloads))
+        ) as pool:
+            futures = [pool.submit(_segment_shard_task, p) for p in payloads]
+            # Gather in submission (= shard) order: completion order is
+            # nondeterministic, the stitch input must not be.
+            shard_outputs = [f.result() for f in futures]
     return stitch_labels(shard_outputs), shard_outputs

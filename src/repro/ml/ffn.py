@@ -28,8 +28,15 @@ __all__ = ["FFNConfig", "FFNModel", "logit", "sigmoid"]
 
 
 def sigmoid(x: np.ndarray) -> np.ndarray:
-    """Numerically stable logistic function."""
-    out = np.empty_like(x, dtype=np.float64)
+    """Numerically stable logistic function.
+
+    Preserves floating input dtypes: a float32 mask stays float32 (the
+    flood-fill hot loop would otherwise double its memory traffic on
+    every probability readout); integer inputs are computed in float64.
+    """
+    x = np.asarray(x)
+    dtype = x.dtype if np.issubdtype(x.dtype, np.floating) else np.float64
+    out = np.empty_like(x, dtype=dtype)
     pos = x >= 0
     out[pos] = 1.0 / (1.0 + np.exp(-x[pos]))
     ex = np.exp(x[~pos])
@@ -179,6 +186,52 @@ class FFNModel:
         self._cache = cache
         return mask_logits + delta
 
+    def forward_batch(
+        self, images: np.ndarray, mask_logits: np.ndarray
+    ) -> np.ndarray:
+        """One FFN step over a whole batch of FOVs in stacked kernels.
+
+        Parameters
+        ----------
+        images / mask_logits:
+            ``(N, *fov)`` stacks.  Every conv in the residual stack runs
+            as one batched ``tensordot``, so an ``N``-FOV wavefront costs
+            one GEMM per layer instead of ``N``.
+
+        Returns
+        -------
+        Updated mask logits, ``(N, *fov)``.  Row ``i`` is bit-for-bit
+        equal to ``forward(images[i], mask_logits[i])``.
+        """
+        fov = self.config.fov
+        if (
+            images.ndim != 4
+            or images.shape[1:] != fov
+            or mask_logits.shape != images.shape
+        ):
+            raise ShapeError(
+                f"image/mask stacks must be (N, *{fov}), got "
+                f"{images.shape}/{mask_logits.shape}"
+            )
+        x = np.stack([images, mask_logits], axis=1).astype(np.float32)
+        cache: dict = {"batched": True}
+        a = self.conv_in.forward_batch(x)
+        cache["z_in"] = a
+        a = np.maximum(a, 0.0)
+        residual_caches = []
+        for conv1, conv2 in self.res_convs:
+            z1 = conv1.forward_batch(a)
+            a1 = np.maximum(z1, 0.0)
+            z2 = conv2.forward_batch(a1)
+            s = a + z2
+            out = np.maximum(s, 0.0)
+            residual_caches.append((z1, s))
+            a = out
+        cache["res"] = residual_caches
+        delta = self.head.forward_batch(a)[:, 0]  # (N, D, H, W)
+        self._cache = cache
+        return mask_logits + delta
+
     def backward(self, grad_logits: np.ndarray) -> None:
         """Backprop ``dL/d(new_logits)`` into parameter gradients.
 
@@ -187,6 +240,10 @@ class FFNModel:
         """
         if self._cache is None:
             raise ShapeError("backward() before forward()")
+        if self._cache.get("batched"):
+            raise ShapeError(
+                "backward() after forward_batch(); use backward_batch()"
+            )
         grad = self.head.backward(grad_logits[None].astype(np.float32))
         for (conv1, conv2), (z1, s) in zip(
             reversed(self.res_convs), reversed(self._cache["res"])
@@ -198,6 +255,31 @@ class FFNModel:
             grad = grad + conv1.backward(grad_z1)
         grad = grad * (self._cache["z_in"] > 0)
         self.conv_in.backward(grad)
+        self._cache = None
+
+    def backward_batch(self, grad_logits: np.ndarray) -> None:
+        """Batched backprop: ``grad_logits`` is ``(N, *fov)``.
+
+        Parameter gradients are summed over the batch inside the conv
+        kernels (one ``tensordot`` per layer) and accumulated, mirroring
+        ``N`` sequential :meth:`backward` calls.
+        """
+        if self._cache is None:
+            raise ShapeError("backward_batch() before forward_batch()")
+        if not self._cache.get("batched"):
+            raise ShapeError("backward_batch() after forward(); use backward()")
+        grad = self.head.backward_batch(
+            grad_logits[:, None].astype(np.float32)
+        )
+        for (conv1, conv2), (z1, s) in zip(
+            reversed(self.res_convs), reversed(self._cache["res"])
+        ):
+            grad = grad * (s > 0)
+            grad_a1 = conv2.backward_batch(grad)
+            grad_z1 = grad_a1 * (z1 > 0)
+            grad = grad + conv1.backward_batch(grad_z1)
+        grad = grad * (self._cache["z_in"] > 0)
+        self.conv_in.backward_batch(grad)
         self._cache = None
 
     def sgd_step(self, lr: float, momentum: float = 0.9) -> None:
@@ -220,3 +302,29 @@ class FFNModel:
         loss = np.maximum(z, 0) - z * labels + np.log1p(np.exp(-np.abs(z)))
         grad = (probs - labels) / logits.size
         return float(loss.mean()), grad.astype(np.float32)
+
+    @staticmethod
+    def logistic_loss_batch(
+        logits: np.ndarray, labels: np.ndarray
+    ) -> tuple[np.ndarray, np.ndarray]:
+        """Per-item sigmoid cross-entropy over a ``(N, *fov)`` batch.
+
+        Returns ``(losses, grad)`` where ``losses`` is ``(N,)`` of
+        per-item mean losses and ``grad`` is the ``(N, *fov)`` gradient,
+        each item normalized by its own voxel count — so item ``i``
+        matches an independent :meth:`logistic_loss` call on it.
+        """
+        if logits.ndim < 2 or logits.shape != labels.shape:
+            raise ShapeError(
+                f"logits/labels must be matching (N, ...) stacks, got "
+                f"{logits.shape}/{labels.shape}"
+            )
+        labels = labels.astype(np.float64)
+        probs = sigmoid(logits)
+        z = logits.astype(np.float64)
+        loss = np.maximum(z, 0) - z * labels + np.log1p(np.exp(-np.abs(z)))
+        axes = tuple(range(1, logits.ndim))
+        item_size = int(np.prod(logits.shape[1:]))
+        losses = loss.mean(axis=axes)
+        grad = (probs - labels) / item_size
+        return losses, grad.astype(np.float32)

@@ -6,6 +6,16 @@ FOV relocates toward faces where the predicted object probability is high,
 until no face is confident — at which point the flooded region is the
 segmented object.
 
+Flood filling is *wavefront-synchronous*: FOV centers are processed one
+whole frontier (BFS level) at a time.  Every patch in a frontier reads
+the mask as it stood when the frontier started, and results are written
+back in frontier order (deterministic last-writer-wins where FOVs
+overlap).  That definition makes the loop batchable — the ``"batched"``
+engine stacks the frontier's patches and runs **one** batched FFN forward
+per frontier, while the ``"serial"`` engine runs the same frontier one
+patch at a time and exists as the reference implementation the batched
+path is tested against, bit for bit.
+
 Also provides :func:`split_shards`, the exact sharding rule the paper's
 step 3 uses ("The entire 246GB ... is evenly distributed across the 50
 GPUs", §III-C), and :func:`segment_volume`, which seeds objects from IVT
@@ -16,16 +26,20 @@ from __future__ import annotations
 
 import dataclasses
 import typing as _t
+from collections import deque
 
 import numpy as np
 
-from repro.errors import ShapeError
+from repro.errors import MLError, ShapeError
 from repro.ml.ffn import FFNModel, sigmoid
 
 __all__ = ["flood_fill", "segment_volume", "split_shards", "ShardResult"]
 
 #: Saturation range for mask logits during flood filling.
 _LOGIT_CLIP = (-16.0, 16.0)
+
+#: Recognized flood-fill engines.
+_ENGINES = ("batched", "serial")
 
 
 def _normalize(volume: np.ndarray) -> np.ndarray:
@@ -43,6 +57,8 @@ def flood_fill(
     seed: tuple[int, int, int],
     max_steps: int = 256,
     normalized: bool = False,
+    engine: str = "batched",
+    window_cache: dict | None = None,
 ) -> np.ndarray:
     """Flood one object from ``seed``; returns the probability volume.
 
@@ -55,16 +71,29 @@ def flood_fill(
     seed:
         Starting voxel (must be inside the volume).
     max_steps:
-        FOV relocation budget.
+        Total FOV evaluation budget (a frontier that would exceed it is
+        truncated in order).
     normalized:
         Set when ``volume`` is already z-scored (avoids re-normalizing
         per shard).
+    engine:
+        ``"batched"`` (default) evaluates each frontier as one stacked
+        FFN forward; ``"serial"`` evaluates the same frontier one FOV at
+        a time.  Both produce bit-identical output.
+    window_cache:
+        Optional dict mapping FOV center -> contiguous z-scored image
+        window.  Pass the same dict across :func:`flood_fill` calls on
+        the same (normalized) image — e.g. successive seeds in
+        :func:`segment_volume` — so revisited centers reuse their image
+        window and only the mask channel is re-read.
 
     Returns
     -------
-    A float array of object probabilities, same shape as ``volume``
+    A float32 array of object probabilities, same shape as ``volume``
     (``init_prob`` everywhere the flood never looked).
     """
+    if engine not in _ENGINES:
+        raise MLError(f"unknown flood-fill engine {engine!r}; use {_ENGINES}")
     cfg = model.config
     fov = np.array(cfg.fov)
     half = fov // 2
@@ -80,39 +109,121 @@ def flood_fill(
     image = volume if normalized else _normalize(volume)
     mask = np.full(volume.shape, cfg.init_logit, dtype=np.float32)
     mask[tuple(seed_arr)] = cfg.seed_logit
+    if window_cache is None:
+        window_cache = {}
+
+    lo_bound = half
+    hi_bound = vol_shape - half - 1
 
     def clamp_center(center: np.ndarray) -> tuple:
-        return tuple(np.clip(center, half, vol_shape - half - 1))
+        return tuple(int(v) for v in np.clip(center, lo_bound, hi_bound))
+
+    def image_window(center: tuple, slices: tuple) -> np.ndarray:
+        win = window_cache.get(center)
+        if win is None:
+            win = np.ascontiguousarray(image[slices])
+            window_cache[center] = win
+        return win
 
     visited: set[tuple] = set()
-    queue: list[tuple] = [clamp_center(seed_arr)]
+    pending: deque[tuple] = deque([clamp_center(seed_arr)])
     steps = 0
-    while queue and steps < max_steps:
-        center = queue.pop(0)
-        if center in visited:
-            continue
-        visited.add(center)
-        steps += 1
-        slices = tuple(
-            slice(c - h, c + h + 1) for c, h in zip(center, half)
-        )
-        patch_logits = model.forward(image[slices], mask[slices])
-        # Clip to keep repeated FOV visits from blowing up float32 (the
-        # reference FFN also saturates its mask logits).
-        np.clip(patch_logits, _LOGIT_CLIP[0], _LOGIT_CLIP[1], out=patch_logits)
-        mask[slices] = patch_logits
-        probs = sigmoid(patch_logits)
-        # Examine the six FOV faces; move toward confident ones.
-        for axis in range(3):
-            for direction in (-1, 1):
-                face = [slice(None)] * 3
-                face[axis] = -1 if direction == 1 else 0
-                if probs[tuple(face)].max() >= cfg.move_threshold:
-                    nxt = np.array(center)
-                    nxt[axis] += direction * half[axis]
-                    nxt_t = clamp_center(nxt)
-                    if nxt_t not in visited:
-                        queue.append(nxt_t)
+    while pending and steps < max_steps:
+        # Drain the whole frontier: ordered, deduplicated, unvisited.
+        frontier: list[tuple] = []
+        seen: set[tuple] = set()
+        while pending:
+            center = pending.popleft()
+            if center in visited or center in seen:
+                continue
+            seen.add(center)
+            frontier.append(center)
+        if steps + len(frontier) > max_steps:
+            frontier = frontier[: max_steps - steps]
+        if not frontier:
+            break
+        steps += len(frontier)
+        visited.update(frontier)
+
+        slices_list = [
+            tuple(slice(c - h, c + h + 1) for c, h in zip(center, half))
+            for center in frontier
+        ]
+        # Snapshot reads: every patch sees the mask as of frontier start.
+        img_patches = [
+            image_window(center, slc)
+            for center, slc in zip(frontier, slices_list)
+        ]
+        mask_patches = [mask[slc] for slc in slices_list]
+        if engine == "batched":
+            # One batched forward for the whole frontier; clip, sigmoid,
+            # and the six face maxima all run stacked too (elementwise /
+            # per-row reductions, so bit-identical to per-patch).
+            stacked = model.forward_batch(
+                np.stack(img_patches), np.stack(mask_patches)
+            )
+            # Clip to keep repeated FOV visits from blowing up float32
+            # (the reference FFN also saturates its mask logits).
+            np.clip(stacked, _LOGIT_CLIP[0], _LOGIT_CLIP[1], out=stacked)
+            probs = sigmoid(stacked)
+            # face_max[i, axis, j]: max prob on patch i's low (j=0) /
+            # high (j=1) face along axis.
+            face_max = np.stack(
+                [
+                    np.stack(
+                        [
+                            probs[(slice(None),) * (1 + axis) + (0,)].max(
+                                axis=(1, 2)
+                            ),
+                            probs[(slice(None),) * (1 + axis) + (-1,)].max(
+                                axis=(1, 2)
+                            ),
+                        ],
+                        axis=1,
+                    )
+                    for axis in range(3)
+                ],
+                axis=1,
+            )
+            outs = stacked
+        else:
+            # Reference path: same frontier, one unbatched forward each.
+            # np.stack inside forward copies the inputs, so all reads
+            # complete before the write-back below mutates the mask.
+            outs = []
+            face_rows = []
+            for img, msk in zip(img_patches, mask_patches):
+                patch_logits = model.forward(img, np.array(msk))
+                np.clip(patch_logits, _LOGIT_CLIP[0], _LOGIT_CLIP[1],
+                        out=patch_logits)
+                p = sigmoid(patch_logits)
+                face_rows.append(
+                    [
+                        [
+                            p[(slice(None),) * axis + (0,)].max(),
+                            p[(slice(None),) * axis + (-1,)].max(),
+                        ]
+                        for axis in range(3)
+                    ]
+                )
+                outs.append(patch_logits)
+            face_max = np.array(face_rows)
+        # Deterministic last-writer-wins write-back in frontier order.
+        for slc, patch_logits in zip(slices_list, outs):
+            mask[slc] = patch_logits
+        # Each patch's own output decides its FOV moves; next-frontier
+        # order is frontier order x (axis, direction), so it is identical
+        # for both engines.
+        for i, center in enumerate(frontier):
+            for axis in range(3):
+                for direction in (-1, 1):
+                    side = 0 if direction == -1 else 1
+                    if face_max[i, axis, side] >= cfg.move_threshold:
+                        nxt = np.array(center)
+                        nxt[axis] += direction * half[axis]
+                        nxt_t = clamp_center(nxt)
+                        if nxt_t not in visited:
+                            pending.append(nxt_t)
     return sigmoid(mask)
 
 
@@ -122,13 +233,16 @@ def segment_volume(
     max_objects: int = 32,
     seed_percentile: float = 97.0,
     max_steps_per_object: int = 256,
+    engine: str = "batched",
 ) -> np.ndarray:
     """Segment a whole volume into labelled objects.
 
     Seeds are taken greedily from the highest-intensity voxels above
     ``seed_percentile`` that no earlier object claimed; each seed is
     flooded with :func:`flood_fill` and thresholded at the model's
-    ``segment_threshold``.
+    ``segment_threshold``.  A z-scored image-window cache is shared
+    across floods, so centers revisited by later objects skip the window
+    extraction.
 
     Returns
     -------
@@ -142,6 +256,7 @@ def segment_volume(
     order = np.argsort(-volume[tuple(candidates.T)])
     candidates = candidates[order]
     next_id = 1
+    window_cache: dict = {}
     for voxel in map(tuple, candidates):
         if next_id > max_objects:
             break
@@ -153,6 +268,8 @@ def segment_volume(
             voxel,
             max_steps=max_steps_per_object,
             normalized=True,
+            engine=engine,
+            window_cache=window_cache,
         )
         obj = (probs >= model.config.segment_threshold) & (labels == 0)
         if obj.sum() < 2:  # reject degenerate single-voxel floods

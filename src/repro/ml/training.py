@@ -121,7 +121,11 @@ class FFNTrainer:
         steps: int = 200,
         log_every: int = 10,
     ) -> TrainingReport:
-        """Run ``steps`` single-patch SGD steps on (volume, labels).
+        """Run ``steps`` minibatch SGD steps on (volume, labels).
+
+        Each step stacks ``batch_size`` FOV patches and drives them
+        through the batched FFN kernels together (one GEMM per conv
+        layer per FOV step, instead of ``batch_size`` of them).
 
         ``labels`` is binary (object/background) with the same shape as
         ``volume`` — the paper's "576x361x240 data volume" at any scale.
@@ -141,27 +145,36 @@ class FFNTrainer:
         centers = self._patch_centers(labels, steps * self.batch_size)
         grad_scale = 1.0 / (self.batch_size * self.fov_steps)
         idx = 0
+        center_idx = (slice(None),) + half  # seed voxel of every batch item
         for step in range(steps):
+            batch = centers[idx : idx + self.batch_size]
+            idx += self.batch_size
+            slices_list = [
+                tuple(slice(c - h, c + h + 1) for c, h in zip(center, half))
+                for center in batch
+            ]
+            # Real minibatches: the whole batch moves through the conv
+            # stack as one set of batched kernels per FOV step.
+            img_patches = np.stack([image[s] for s in slices_list])
+            label_patches = np.stack(
+                [(labels[s] > 0).astype(np.float32) for s in slices_list]
+            )
+            masks = np.full(
+                (len(batch),) + cfg.fov, cfg.init_logit, dtype=np.float32
+            )
+            masks[center_idx] = cfg.seed_logit
             batch_loss = 0.0
-            for _ in range(self.batch_size):
-                center = centers[idx]
-                idx += 1
-                slices = tuple(
-                    slice(c - h, c + h + 1) for c, h in zip(center, half)
+            for _ in range(self.fov_steps):
+                logits = self.model.forward_batch(img_patches, masks)
+                item_losses, grad = FFNModel.logistic_loss_batch(
+                    logits, label_patches
                 )
-                img_patch = image[slices]
-                label_patch = (labels[slices] > 0).astype(np.float32)
-                mask = np.full(cfg.fov, cfg.init_logit, dtype=np.float32)
-                mask[half] = cfg.seed_logit
-                for _ in range(self.fov_steps):
-                    logits = self.model.forward(img_patch, mask)
-                    loss, grad = FFNModel.logistic_loss(logits, label_patch)
-                    if initial_loss is None:
-                        initial_loss = loss
-                    batch_loss += loss * grad_scale
-                    self.model.backward(grad * grad_scale)
-                    # Next pass sees the (detached, saturated) updated mask.
-                    mask = np.clip(logits, -16.0, 16.0).astype(np.float32)
+                if initial_loss is None:
+                    initial_loss = float(item_losses[0])
+                batch_loss += float(item_losses.sum()) * grad_scale
+                self.model.backward_batch(grad * grad_scale)
+                # Next pass sees the (detached, saturated) updated masks.
+                masks = np.clip(logits, -16.0, 16.0).astype(np.float32)
             self.model.sgd_step(self.lr, momentum=self.momentum)
             if step % log_every == 0 or step == steps - 1:
                 losses.append(batch_loss)
@@ -182,16 +195,18 @@ class FFNTrainer:
             image = (image - image.mean()) / std
         cfg = self.model.config
         half = tuple(f // 2 for f in cfg.fov)
-        total = 0.0
-        for center in self._patch_centers(labels, n_patches):
-            slices = tuple(
-                slice(c - h, c + h + 1) for c, h in zip(center, half)
-            )
-            mask = np.full(cfg.fov, cfg.init_logit, dtype=np.float32)
-            mask[half] = cfg.seed_logit
-            logits = self.model.forward(image[slices], mask)
-            loss, _ = FFNModel.logistic_loss(
-                logits, (labels[slices] > 0).astype(np.float32)
-            )
-            total += loss
-        return total / n_patches
+        slices_list = [
+            tuple(slice(c - h, c + h + 1) for c, h in zip(center, half))
+            for center in self._patch_centers(labels, n_patches)
+        ]
+        img_patches = np.stack([image[s] for s in slices_list])
+        label_patches = np.stack(
+            [(labels[s] > 0).astype(np.float32) for s in slices_list]
+        )
+        masks = np.full(
+            (n_patches,) + cfg.fov, cfg.init_logit, dtype=np.float32
+        )
+        masks[(slice(None),) + half] = cfg.seed_logit
+        logits = self.model.forward_batch(img_patches, masks)
+        item_losses, _ = FFNModel.logistic_loss_batch(logits, label_patches)
+        return float(item_losses.mean())

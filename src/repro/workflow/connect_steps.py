@@ -515,6 +515,7 @@ class InferenceStep(WorkflowStep):
         "real_test_timesteps": 16,
         "real_shards": 4,  # logical workers for the real sharded run
         "real_halo": 2,
+        "real_max_workers": 1,  # >1 fans shards out on a process pool
         "results_prefix": "segmentation/v1",
     }
 
@@ -616,6 +617,7 @@ class InferenceStep(WorkflowStep):
                 volume,
                 n_workers=int(p["real_shards"]),
                 halo=int(p["real_halo"]),
+                max_workers=int(p["real_max_workers"]),
             )
             scores = voxel_metrics(labels, truth)
             real = {

@@ -1,0 +1,96 @@
+"""Tests for the macro-benchmark harness and its CLI entry point."""
+
+import json
+
+import numpy as np
+import pytest
+
+from repro.bench import (
+    BenchRecord,
+    benchmark_world,
+    render_summary,
+    run_benchmarks,
+    write_artifact,
+)
+from repro.cli import main
+
+
+@pytest.fixture(scope="module")
+def smoke_records():
+    return run_benchmarks(smoke=True, repeat=1, max_workers=2, seed=42)
+
+
+class TestBenchRecords:
+    def test_all_benchmarks_present(self, smoke_records):
+        names = [r.name for r in smoke_records]
+        assert names == [
+            "conv3d_batched",
+            "flood_fill_wavefront",
+            "segment_volume_wavefront",
+            "distributed_fanout",
+        ]
+
+    def test_outputs_identical_across_paths(self, smoke_records):
+        for record in smoke_records:
+            assert record.outputs_identical, record.name
+
+    def test_speedup_is_ratio(self):
+        r = BenchRecord(
+            name="x", baseline="a", optimized="b",
+            baseline_seconds=2.0, optimized_seconds=0.5,
+            checksum_baseline="c", checksum_optimized="c",
+        )
+        assert r.speedup == 4.0
+
+    def test_world_is_deterministic(self):
+        a = benchmark_world(smoke=True, seed=7)
+        b = benchmark_world(smoke=True, seed=7)
+        np.testing.assert_array_equal(a["macro_volume"], b["macro_volume"])
+        for (ka, wa), (kb, wb) in zip(
+            sorted(a["model"].state_dict().items()),
+            sorted(b["model"].state_dict().items()),
+        ):
+            assert ka == kb
+            np.testing.assert_array_equal(wa, wb)
+
+
+class TestArtifact:
+    def test_artifact_written_and_well_formed(self, smoke_records, tmp_path):
+        path = write_artifact(smoke_records, out_dir=tmp_path, smoke=True,
+                              date="2026-01-01")
+        assert path.name == "BENCH_2026-01-01_smoke.json"
+        payload = json.loads(path.read_text())
+        assert payload["schema"] == "repro-bench/v1"
+        assert payload["smoke"] is True
+        assert len(payload["results"]) == len(smoke_records)
+        for entry in payload["results"]:
+            assert entry["outputs_identical"] is True
+            assert entry["speedup"] > 0
+
+    def test_summary_mentions_every_benchmark(self, smoke_records):
+        text = render_summary(smoke_records)
+        for record in smoke_records:
+            assert record.name in text
+        assert "DIFFER" not in text
+
+
+class TestBenchCLI:
+    def test_smoke_run_writes_artifact(self, tmp_path, capsys):
+        code = main([
+            "bench", "--smoke", "--repeat", "1", "--max-workers", "2",
+            "--out", str(tmp_path),
+        ])
+        assert code == 0
+        artifacts = list(tmp_path.glob("BENCH_*_smoke.json"))
+        assert len(artifacts) == 1
+        out = capsys.readouterr().out
+        assert "segment_volume_wavefront" in out
+        assert "wrote" in out
+
+    def test_bench_parser_defaults(self):
+        from repro.cli import build_parser
+
+        args = build_parser().parse_args(["bench"])
+        assert args.smoke is False
+        assert args.repeat == 2
+        assert args.out == "."
