@@ -18,6 +18,10 @@ Commands
     Run the batched-compute macro-benchmarks (conv3d, wavefront flood
     fill, segment_volume, distributed fan-out) and write a
     ``BENCH_<date>.json`` trajectory artifact.
+``trace``
+    Run the CONNECT workflow with tracing on, export a Chrome
+    trace-event JSON (loadable at chrome://tracing or ui.perfetto.dev),
+    and print the critical-path report plus an ASCII flame summary.
 ``version``
     Print the package version.
 """
@@ -131,6 +135,25 @@ def build_parser() -> argparse.ArgumentParser:
     p_bench.add_argument(
         "--out", default=".", metavar="DIR",
         help="directory for the BENCH_<date>.json artifact",
+    )
+
+    p_trace = sub.add_parser(
+        "trace", help="run the CONNECT workflow traced and export the spans"
+    )
+    common(p_trace)
+    p_trace.add_argument("--workers", type=int, default=10,
+                         help="step-1 download workers")
+    p_trace.add_argument("--gpus", type=int, default=50,
+                         help="step-3 inference GPUs")
+    p_trace.add_argument("--no-real-ml", action="store_true",
+                         help="skip the real NumPy FFN (timing model only)")
+    p_trace.add_argument(
+        "--out", default="trace.json", metavar="FILE",
+        help="path for the Chrome trace-event JSON (default: trace.json)",
+    )
+    p_trace.add_argument(
+        "--flame-width", type=int, default=48,
+        help="timeline width of the ASCII flame summary",
     )
 
     sub.add_parser("version", help="print the package version")
@@ -283,6 +306,60 @@ def _cmd_bench(args: argparse.Namespace) -> int:
     return 0
 
 
+def _cmd_trace(args: argparse.Namespace) -> int:
+    import json
+
+    from repro.testbed import build_nautilus_testbed
+    from repro.tracing import (
+        analyze_run,
+        spans_to_metrics,
+        validate_spans,
+        validate_trace,
+        write_chrome_trace,
+    )
+    from repro.viz.flame import flame_summary
+    from repro.workflow import WorkflowDriver, build_connect_workflow
+
+    with warnings.catch_warnings():
+        warnings.simplefilter("ignore")
+        testbed = build_nautilus_testbed(seed=args.seed, scale=args.scale)
+        workflow = build_connect_workflow(
+            testbed,
+            n_workers=args.workers,
+            n_gpus=args.gpus,
+            real_ml=not args.no_real_ml,
+        )
+        print(f"Tracing workflow {workflow.name!r} at scale={args.scale} "
+              f"({len(testbed.archive):,} granules)...")
+        report = WorkflowDriver(testbed).run(workflow)
+
+    spans = testbed.tracer.finished_spans()
+    problems = validate_spans(spans)
+    if problems:
+        for problem in problems:
+            print(f"span-tree problem: {problem}", file=sys.stderr)
+        return 1
+
+    path = write_chrome_trace(spans, args.out)
+    with open(path, encoding="utf-8") as fh:
+        trace_problems = validate_trace(json.load(fh))
+    if trace_problems:
+        for problem in trace_problems:
+            print(f"trace-json problem: {problem}", file=sys.stderr)
+        return 1
+    print(f"wrote {path} ({len(spans)} spans) — load at chrome://tracing "
+          "or https://ui.perfetto.dev")
+
+    spans_to_metrics(spans, testbed.registry, workflow=workflow.name)
+
+    analysis = analyze_run(spans)
+    print()
+    print(analysis.render())
+    print()
+    print(flame_summary(spans, width=args.flame_width, min_fraction=0.005))
+    return 0 if report.succeeded else 1
+
+
 def main(argv: _t.Sequence[str] | None = None) -> int:
     """Entry point; returns a process exit code."""
     args = build_parser().parse_args(argv)
@@ -299,4 +376,6 @@ def main(argv: _t.Sequence[str] | None = None) -> int:
         return _cmd_lint(args)
     if args.command == "bench":
         return _cmd_bench(args)
+    if args.command == "trace":
+        return _cmd_trace(args)
     raise AssertionError(f"unhandled command {args.command!r}")  # pragma: no cover

@@ -45,6 +45,7 @@ from repro.sim import Environment
 
 if _t.TYPE_CHECKING:  # pragma: no cover
     from repro.monitoring.metrics import MetricRegistry
+    from repro.tracing.span import Span, Tracer
 
 __all__ = ["Cluster"]
 
@@ -90,6 +91,11 @@ class Cluster:
         #: optional registry for control-plane counters (liveness kills,
         #: lease expirations); the testbed wires this up.
         self.metrics: "MetricRegistry | None" = None
+        #: optional span tracer (the testbed wires this up): each pod's
+        #: lifecycle emits queueing → scheduling → running spans, so
+        #: queueing and binpack latency are first-class trace data.
+        self.tracer: "Tracer | None" = None
+        self._pod_trace: dict[str, "Span"] = {}
         # Node-lease controller state (enable_node_leases).
         self._lease_missed: dict[str, int] = {}
         self._lease_failed: set[str] = set()
@@ -102,6 +108,37 @@ class Cluster:
     def _count(self, metric: str, labels: dict[str, str] | None = None) -> None:
         if self.metrics is not None:
             self.metrics.inc_counter(metric, 1.0, labels)
+
+    # ----------------------------------------------------------------- tracing
+
+    def _pod_span_open(self, pod: Pod, category: str, **attributes) -> None:
+        """Open this pod's next lifecycle span (closing the previous one).
+
+        Parented under the span bound to the pod's namespace (the
+        workflow driver binds each step's namespace to its step span), or
+        the tracer's root when the namespace has no bound scope.
+        """
+        if self.tracer is None:
+            return
+        self._pod_span_close(pod)
+        parent = self.tracer.scope_parent(pod.meta.namespace)
+        self._pod_trace[pod.meta.uid] = self.tracer.start(
+            pod.meta.name,
+            category,
+            parent=parent,
+            attributes={
+                "pod": pod.meta.name,
+                "namespace": pod.meta.namespace,
+                **attributes,
+            },
+        )
+
+    def _pod_span_close(self, pod: Pod, status: str = "ok") -> None:
+        if self.tracer is None:
+            return
+        span = self._pod_trace.pop(pod.meta.uid, None)
+        if span is not None:
+            self.tracer.finish(span, status=status)
 
     # ------------------------------------------------------------------ events
 
@@ -424,6 +461,7 @@ class Cluster:
         ns.admit(spec.total_request())  # may raise QuotaExceededError
         self.pods[key] = pod
         self._pending.append(pod)
+        self._pod_span_open(pod, "queueing")
         self.record_event("Pod", name, "Created", namespace=namespace)
         self._kick_scheduler()
         return pod
@@ -657,6 +695,7 @@ class Cluster:
                 continue
             node.allocate(pod)
             pod.node_name = node.spec.name
+            self._pod_span_open(pod, "scheduling", node=node.spec.name)
             self.record_event(
                 "Pod",
                 pod.meta.name,
@@ -678,6 +717,12 @@ class Cluster:
     def _set_phase(self, pod: Pod, phase: PodPhase) -> None:
         old = pod.phase
         pod.phase = phase
+        if phase is PodPhase.RUNNING:
+            self._pod_span_open(pod, "running", node=pod.node_name or "")
+        elif phase.is_terminal():
+            self._pod_span_close(
+                pod, status="ok" if phase is PodPhase.SUCCEEDED else "error"
+            )
         for hook in self.phase_hooks:
             hook(pod, old, phase)
 

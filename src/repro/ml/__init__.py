@@ -21,7 +21,7 @@ applied to NASA data using 50 NVIDIA 1080ti GPUs based on Tensorflow"
 - :mod:`repro.ml.connect` — the CONNECT baseline: threshold + union-find
   connected-component labelling in time and space, with object life-cycle
   statistics [21][22].
-- :mod:`repro.ml.metrics` — voxel and object-level segmentation metrics.
+- :mod:`repro.ml.segmetrics` — voxel and object-level segmentation metrics.
 - :mod:`repro.ml.perfmodel` — the 1080ti throughput model calibrated to
   the paper's reported step times (306 min training, 1133 min inference
   on 2.3e10 voxels / 50 GPUs), used when running at paper scale.
@@ -43,7 +43,7 @@ from repro.ml.distributed_inference import (
     ShardSegmentation,
 )
 from repro.ml.connect import connect_segmentation, ConnectedObject, ConnectReport
-from repro.ml.metrics import (
+from repro.ml.segmetrics import (
     voxel_metrics,
     object_level_metrics,
     adapted_rand_error,

@@ -36,6 +36,9 @@ from repro.ml.connect import _DisjointSet
 from repro.ml.ffn import FFNModel
 from repro.ml.inference import segment_volume, split_shards
 
+if _t.TYPE_CHECKING:  # pragma: no cover
+    from repro.tracing.span import Span, Tracer
+
 __all__ = ["ShardSegmentation", "distributed_segment", "stitch_labels"]
 
 
@@ -181,6 +184,8 @@ def distributed_segment(
     seed_percentile: float = 97.0,
     max_workers: int | None = None,
     engine: str = "batched",
+    tracer: "Tracer | None" = None,
+    span_parent: "Span | None" = None,
 ) -> tuple[np.ndarray, list[ShardSegmentation]]:
     """Segment ``volume`` as the paper's GPU fan-out would: shard the
     time axis, segment each shard (with halo), stitch.
@@ -197,6 +202,12 @@ def distributed_segment(
         identical for every ``max_workers`` value.
     engine:
         Flood-fill engine forwarded to :func:`segment_volume`.
+    tracer, span_parent:
+        Optional :class:`~repro.tracing.span.Tracer` (+ parent span):
+        one ``compute`` span per shard plus a ``stitch`` span.  Spans are
+        always emitted in the **parent** process in shard order (a tracer
+        does not cross the process-pool pickle boundary), so the trace is
+        identical for every ``max_workers`` value.
 
     Returns ``(global_labels, shard_outputs)``.
     """
@@ -220,8 +231,33 @@ def distributed_segment(
             (config, state, sub, lo, t0, t1, i,
              max_objects_per_shard, seed_percentile, engine)
         )
+    fanout_span = None
+    if tracer is not None:
+        fanout_span = tracer.start(
+            "distributed_segment",
+            "compute",
+            parent=span_parent,
+            attributes={"shards": len(payloads), "engine": engine},
+        )
+
+    def _shard_span(index: int, t0: int, t1: int) -> "Span | None":
+        if tracer is None:
+            return None
+        return tracer.start(
+            f"shard:{index}",
+            "compute",
+            parent=fanout_span,
+            attributes={"t0": t0, "t1": t1},
+        )
+
     if max_workers is None or max_workers == 1 or len(payloads) == 1:
-        shard_outputs = [_segment_shard_task(p) for p in payloads]
+        shard_outputs = []
+        for p in payloads:
+            span = _shard_span(p[6], p[4], p[5])
+            result = _segment_shard_task(p)
+            if tracer is not None and span is not None:
+                tracer.finish(span, attributes={"objects": result.n_objects})
+            shard_outputs.append(result)
     else:
         with concurrent.futures.ProcessPoolExecutor(
             max_workers=min(max_workers, len(payloads))
@@ -229,5 +265,21 @@ def distributed_segment(
             futures = [pool.submit(_segment_shard_task, p) for p in payloads]
             # Gather in submission (= shard) order: completion order is
             # nondeterministic, the stitch input must not be.
-            shard_outputs = [f.result() for f in futures]
-    return stitch_labels(shard_outputs), shard_outputs
+            shard_outputs = []
+            for p, f in zip(payloads, futures):
+                span = _shard_span(p[6], p[4], p[5])
+                result = f.result()
+                if tracer is not None and span is not None:
+                    tracer.finish(span, attributes={"objects": result.n_objects})
+                shard_outputs.append(result)
+    if tracer is None:
+        stitched = stitch_labels(shard_outputs)
+    else:
+        with tracer.span(
+            "stitch", "compute", parent=fanout_span,
+            attributes={"shards": len(shard_outputs)},
+        ):
+            stitched = stitch_labels(shard_outputs)
+        if fanout_span is not None:
+            tracer.finish(fanout_span)
+    return stitched, shard_outputs

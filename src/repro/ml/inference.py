@@ -33,6 +33,9 @@ import numpy as np
 from repro.errors import MLError, ShapeError
 from repro.ml.ffn import FFNModel, sigmoid
 
+if _t.TYPE_CHECKING:  # pragma: no cover
+    from repro.tracing.span import Span, Tracer
+
 __all__ = ["flood_fill", "segment_volume", "split_shards", "ShardResult"]
 
 #: Saturation range for mask logits during flood filling.
@@ -59,6 +62,8 @@ def flood_fill(
     normalized: bool = False,
     engine: str = "batched",
     window_cache: dict | None = None,
+    tracer: "Tracer | None" = None,
+    span_parent: "Span | None" = None,
 ) -> np.ndarray:
     """Flood one object from ``seed``; returns the probability volume.
 
@@ -86,6 +91,12 @@ def flood_fill(
         the same (normalized) image — e.g. successive seeds in
         :func:`segment_volume` — so revisited centers reuse their image
         window and only the mask channel is re-read.
+    tracer, span_parent:
+        Optional :class:`~repro.tracing.span.Tracer` (+ parent span):
+        the flood emits one ``compute`` span for the whole fill and one
+        per frontier.  The span *sequence* (names, categories, frontier
+        sizes) is identical for both engines — only the flood span's
+        ``engine`` attribute differs.
 
     Returns
     -------
@@ -125,9 +136,22 @@ def flood_fill(
             window_cache[center] = win
         return win
 
+    flood_span = None
+    if tracer is not None:
+        flood_span = tracer.start(
+            "flood_fill",
+            "compute",
+            parent=span_parent,
+            attributes={
+                "seed": [int(v) for v in seed_arr],
+                "engine": engine,
+            },
+        )
+
     visited: set[tuple] = set()
     pending: deque[tuple] = deque([clamp_center(seed_arr)])
     steps = 0
+    frontier_index = 0
     while pending and steps < max_steps:
         # Drain the whole frontier: ordered, deduplicated, unvisited.
         frontier: list[tuple] = []
@@ -144,6 +168,15 @@ def flood_fill(
             break
         steps += len(frontier)
         visited.update(frontier)
+        frontier_span = None
+        if tracer is not None:
+            frontier_span = tracer.start(
+                f"frontier:{frontier_index}",
+                "compute",
+                parent=flood_span,
+                attributes={"patches": len(frontier)},
+            )
+        frontier_index += 1
 
         slices_list = [
             tuple(slice(c - h, c + h + 1) for c, h in zip(center, half))
@@ -224,6 +257,10 @@ def flood_fill(
                         nxt_t = clamp_center(nxt)
                         if nxt_t not in visited:
                             pending.append(nxt_t)
+        if tracer is not None and frontier_span is not None:
+            tracer.finish(frontier_span)
+    if tracer is not None and flood_span is not None:
+        tracer.finish(flood_span, attributes={"steps": steps})
     return sigmoid(mask)
 
 
@@ -234,6 +271,8 @@ def segment_volume(
     seed_percentile: float = 97.0,
     max_steps_per_object: int = 256,
     engine: str = "batched",
+    tracer: "Tracer | None" = None,
+    span_parent: "Span | None" = None,
 ) -> np.ndarray:
     """Segment a whole volume into labelled objects.
 
@@ -249,6 +288,14 @@ def segment_volume(
     An int32 label volume: 0 = background, 1..N = object ids.
     """
     labels = np.zeros(volume.shape, dtype=np.int32)
+    segment_span = None
+    if tracer is not None:
+        segment_span = tracer.start(
+            "segment_volume",
+            "compute",
+            parent=span_parent,
+            attributes={"shape": list(volume.shape), "engine": engine},
+        )
     image = _normalize(volume)
     threshold_value = np.percentile(volume, seed_percentile)
     candidates = np.argwhere(volume >= threshold_value)
@@ -270,12 +317,16 @@ def segment_volume(
             normalized=True,
             engine=engine,
             window_cache=window_cache,
+            tracer=tracer,
+            span_parent=segment_span,
         )
         obj = (probs >= model.config.segment_threshold) & (labels == 0)
         if obj.sum() < 2:  # reject degenerate single-voxel floods
             continue
         labels[obj] = next_id
         next_id += 1
+    if tracer is not None and segment_span is not None:
+        tracer.finish(segment_span, attributes={"objects": next_id - 1})
     return labels
 
 

@@ -29,7 +29,7 @@ import numpy as np
 from repro.data.merra import GridSpec
 from repro.errors import ShapeError, ValidationError
 from repro.ml.connect import ConnectedObject, connect_segmentation
-from repro.ml.metrics import SegmentationScores, voxel_metrics
+from repro.ml.segmetrics import SegmentationScores, voxel_metrics
 
 __all__ = [
     "TemporalSplit",

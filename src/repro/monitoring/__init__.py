@@ -1,5 +1,12 @@
 """Monitoring: Prometheus-like metrics and Grafana-like dashboards.
 
+.. deprecated::
+    Importing from ``repro.monitoring`` is deprecated — the unified
+    observability facade is :mod:`repro.obs` (``repro.obs.metrics`` for
+    the registry/sampler/promql/dashboards/alerts, ``repro.obs.tracing``
+    for spans, ``repro.obs.reports`` for workflow reports).  The old
+    paths keep working but emit :class:`DeprecationWarning`.
+
 Paper §II-A: "Nautilus needs software to monitor the health, availability,
 and performance of resources.  Grafana is an open source platform for
 time series analytics.  It graphs cluster health and performance data
@@ -9,21 +16,15 @@ every workflow step is measured, and "experimental results and
 performance measurements were presented using the CHASE-CI dashboard
 visualizations in Grafana" (§VIII).
 
-- :class:`MetricRegistry` — named, labelled counters and gauges backed by
-  time series on the virtual clock.
-- :class:`Sampler` — a kernel process that scrapes probe callables at a
-  fixed interval (the Prometheus scrape loop).
-- :mod:`repro.monitoring.promql` — the query-language subset the
-  dashboards need: ``rate``, ``avg/max/sum_over_time``, label aggregation.
-- :class:`Dashboard` — ASCII Grafana: time-series panels and stat panels
-  rendering the Figure-3/4/5/6 views.
+The implementations live in the submodules (``repro.monitoring.metrics``,
+``.sampler``, ``.promql``, ``.grafana``, ``.alerts``), which internal
+code imports directly and warning-free.
 """
 
-from repro.monitoring.metrics import MetricRegistry, TimeSeries
-from repro.monitoring.sampler import Sampler
-from repro.monitoring import promql
-from repro.monitoring.grafana import Dashboard, Panel
-from repro.monitoring.alerts import Alert, AlertManager, AlertRule, AlertState
+from __future__ import annotations
+
+import importlib
+import warnings
 
 __all__ = [
     "MetricRegistry",
@@ -37,3 +38,47 @@ __all__ = [
     "AlertRule",
     "AlertState",
 ]
+
+#: package-level name -> (implementation module, attribute)
+_EXPORTS: dict[str, tuple[str, str]] = {
+    "MetricRegistry": ("repro.monitoring.metrics", "MetricRegistry"),
+    "TimeSeries": ("repro.monitoring.metrics", "TimeSeries"),
+    "METRIC_ALIASES": ("repro.monitoring.metrics", "METRIC_ALIASES"),
+    "canonical_metric_name": (
+        "repro.monitoring.metrics",
+        "canonical_metric_name",
+    ),
+    "Sampler": ("repro.monitoring.sampler", "Sampler"),
+    "Dashboard": ("repro.monitoring.grafana", "Dashboard"),
+    "Panel": ("repro.monitoring.grafana", "Panel"),
+    "Alert": ("repro.monitoring.alerts", "Alert"),
+    "AlertManager": ("repro.monitoring.alerts", "AlertManager"),
+    "AlertRule": ("repro.monitoring.alerts", "AlertRule"),
+    "AlertState": ("repro.monitoring.alerts", "AlertState"),
+}
+
+
+def __getattr__(name: str):  # PEP 562 deprecation shim
+    if name == "promql":
+        warnings.warn(
+            "importing promql from repro.monitoring is deprecated; "
+            "use repro.obs.metrics (or repro.monitoring.promql directly)",
+            DeprecationWarning,
+            stacklevel=2,
+        )
+        return importlib.import_module("repro.monitoring.promql")
+    target = _EXPORTS.get(name)
+    if target is not None:
+        warnings.warn(
+            f"importing {name} from repro.monitoring is deprecated; "
+            "use repro.obs.metrics",
+            DeprecationWarning,
+            stacklevel=2,
+        )
+        module = importlib.import_module(target[0])
+        return getattr(module, target[1])
+    raise AttributeError(f"module {__name__!r} has no attribute {name!r}")
+
+
+def __dir__() -> list[str]:
+    return sorted(set(globals()) | set(_EXPORTS) | {"promql"})

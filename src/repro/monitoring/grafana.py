@@ -15,7 +15,7 @@ import typing as _t
 import numpy as np
 
 from repro.monitoring.metrics import MetricRegistry
-from repro.monitoring import promql
+import repro.monitoring.promql as promql
 
 __all__ = ["Panel", "Dashboard", "sparkline"]
 

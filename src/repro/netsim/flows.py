@@ -24,6 +24,9 @@ import numpy as np
 from repro.errors import NetworkError
 from repro.sim import Environment, Event
 
+if _t.TYPE_CHECKING:  # pragma: no cover
+    from repro.tracing.span import Span, Tracer
+
 __all__ = ["CapacityResource", "Flow", "FlowSimulator", "max_min_rates"]
 
 _flow_ids = itertools.count(1)
@@ -185,6 +188,10 @@ class FlowSimulator:
         self.completed_count = 0
         self.bytes_moved = 0.0
         self.cancelled_count = 0
+        #: optional span tracer (the testbed wires this up): every flow
+        #: becomes a ``transfer`` span carrying bytes and achieved rate.
+        self.tracer: "Tracer | None" = None
+        self._flow_spans: dict[int, "Span"] = {}
 
     # -- public API --------------------------------------------------------------
 
@@ -215,6 +222,12 @@ class FlowSimulator:
         flow_done = self.env.event()
         flow = Flow(name, resources, nbytes, flow_done, self.env.now)
         self._flows.add(flow)
+        if self.tracer is not None:
+            self._flow_spans[flow.id] = self.tracer.start(
+                name or f"flow-{flow.id}",
+                "transfer",
+                attributes={"bytes": float(nbytes)},
+            )
         self._poke()
 
         if latency_s > 0:
@@ -251,6 +264,7 @@ class FlowSimulator:
             return False
         self._flows.discard(flow)
         self.cancelled_count += 1
+        self._finish_flow_span(flow, status="error")
         for res in flow.resources:
             res.allocated_rate = sum(
                 f.rate for f in self._flows if res in f.resources
@@ -282,6 +296,16 @@ class FlowSimulator:
         self._poke()
 
     # -- engine -------------------------------------------------------------------
+
+    def _finish_flow_span(self, flow: Flow, status: str = "ok") -> None:
+        if self.tracer is None:
+            return
+        span = self._flow_spans.pop(flow.id, None)
+        if span is None:
+            return
+        self.tracer.finish(span, status=status)
+        if status == "ok" and span.duration > 0:
+            span.attributes["rate_Bps"] = flow.nbytes / span.duration
 
     def _poke(self) -> None:
         if self._wake is not None and not self._wake.triggered:
@@ -345,6 +369,7 @@ class FlowSimulator:
                 self._handles.pop(flow.handle, None)
                 self.completed_count += 1
                 self.bytes_moved += flow.nbytes
+                self._finish_flow_span(flow)
                 flow.event.succeed(flow)
             if finished:
                 # Zero out rates on now-idle resources for clean sampling.

@@ -1,0 +1,44 @@
+"""Metrics side of the :mod:`repro.obs` facade.
+
+Canonical home for the registry/sampler/promql/dashboard/alert stack
+(previously imported from the ``repro.monitoring`` package root) and the
+ML segmentation scores (previously ``repro.ml.metrics``).  Everything
+here is a re-export; the implementations stay where they are.
+"""
+
+from repro.ml.segmetrics import (
+    SegmentationScores,
+    adapted_rand_error,
+    object_level_metrics,
+    voxel_metrics,
+)
+from repro.monitoring.alerts import Alert, AlertManager, AlertRule, AlertState
+from repro.monitoring.grafana import Dashboard, Panel, sparkline
+from repro.monitoring.metrics import (
+    METRIC_ALIASES,
+    MetricRegistry,
+    TimeSeries,
+    canonical_metric_name,
+)
+from repro.monitoring.sampler import Sampler
+import repro.monitoring.promql as promql
+
+__all__ = [
+    "METRIC_ALIASES",
+    "Alert",
+    "AlertManager",
+    "AlertRule",
+    "AlertState",
+    "Dashboard",
+    "MetricRegistry",
+    "Panel",
+    "Sampler",
+    "SegmentationScores",
+    "TimeSeries",
+    "adapted_rand_error",
+    "canonical_metric_name",
+    "object_level_metrics",
+    "promql",
+    "sparkline",
+    "voxel_metrics",
+]

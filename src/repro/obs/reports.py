@@ -1,0 +1,28 @@
+"""Report side of the :mod:`repro.obs` facade.
+
+Step/workflow reports and their stable JSON round-trip
+(``StepReport.to_dict`` / ``WorkflowReport.to_dict`` — the same shape
+checkpoints persist).
+"""
+
+from repro.workflow.driver import REPORT_FORMAT_VERSION, WorkflowReport
+from repro.workflow.persistence import (
+    WorkflowCheckpoint,
+    load_report,
+    report_from_dict,
+    report_to_dict,
+    save_report,
+)
+from repro.workflow.step import StepReport, sanitize_artifact_value
+
+__all__ = [
+    "REPORT_FORMAT_VERSION",
+    "StepReport",
+    "WorkflowCheckpoint",
+    "WorkflowReport",
+    "load_report",
+    "report_from_dict",
+    "report_to_dict",
+    "sanitize_artifact_value",
+    "save_report",
+]

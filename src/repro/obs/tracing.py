@@ -1,0 +1,36 @@
+"""Tracing side of the :mod:`repro.obs` facade.
+
+Re-exports the span/tracer machinery, the critical-path analyzer, and
+the exporters from :mod:`repro.tracing`.
+"""
+
+from repro.tracing.critical_path import (
+    ORCHESTRATION,
+    CriticalPathReport,
+    analyze_run,
+    attribute_layers,
+    critical_chain,
+)
+from repro.tracing.export import (
+    spans_to_metrics,
+    to_chrome_trace,
+    validate_trace,
+    write_chrome_trace,
+)
+from repro.tracing.span import LAYER_CATEGORIES, Span, Tracer, validate_spans
+
+__all__ = [
+    "LAYER_CATEGORIES",
+    "ORCHESTRATION",
+    "CriticalPathReport",
+    "Span",
+    "Tracer",
+    "analyze_run",
+    "attribute_layers",
+    "critical_chain",
+    "spans_to_metrics",
+    "to_chrome_trace",
+    "validate_spans",
+    "validate_trace",
+    "write_chrome_trace",
+]

@@ -32,10 +32,12 @@ from repro.cluster.node import fiona8_node_spec, fiona_node_spec
 from repro.data.catalog import PAPER_FILE_COUNT, MerraArchive
 from repro.data.merra import GridSpec, MerraGenerator
 from repro.ml.perfmodel import GTX1080TI, GPUPerfModel
-from repro.monitoring import MetricRegistry, Sampler
+from repro.monitoring.metrics import MetricRegistry
+from repro.monitoring.sampler import Sampler
 from repro.netsim import FlowSimulator, Topology, build_prp_topology
 from repro.sim import Environment, SeededRNG
 from repro.storage import CephCluster, CephFS
+from repro.tracing import Tracer
 from repro.transfer import ThreddsServer, TransientFaultInjector
 
 __all__ = ["NautilusTestbed", "build_nautilus_testbed"]
@@ -59,6 +61,7 @@ class NautilusTestbed:
     cephfs: CephFS
     registry: MetricRegistry
     sampler: Sampler
+    tracer: Tracer
     archive: MerraArchive
     thredds: ThreddsServer
     perf: GPUPerfModel
@@ -188,6 +191,9 @@ def build_nautilus_testbed(
     cluster = Cluster(env, name="nautilus", scheduler=Scheduler(scheduler_strategy))
     registry = MetricRegistry(env)
     sampler = Sampler(env, registry, interval=sampler_interval)
+    tracer = Tracer.for_env(env)
+    cluster.tracer = tracer
+    flowsim.tracer = tracer
 
     # -- compute nodes ----------------------------------------------------------
     for i in range(n_dtn):
@@ -239,27 +245,27 @@ def build_nautilus_testbed(
     # -- standing monitoring probes ----------------------------------------------------
     for node in cluster.nodes.values():
         sampler.add_probe(
-            "node_cpu_allocated",
+            "node_cpu_allocated_cores",
             (lambda n=node: n.allocated.cpu),
             {"node": node.spec.name},
         )
         sampler.add_probe(
-            "node_memory_allocated",
+            "node_memory_allocated_bytes",
             (lambda n=node: float(n.allocated.memory)),
             {"node": node.spec.name},
         )
         if node.spec.gpus:
             sampler.add_probe(
-                "node_gpu_in_use",
+                "node_gpus_in_use",
                 (lambda n=node: float(n.gpu_in_use())),
                 {"node": node.spec.name},
             )
     sampler.add_probe(
-        "ceph_bytes_used", lambda: ceph.total_used(), {"cluster": "nautilus"}
+        "ceph_used_bytes", lambda: ceph.total_used(), {"cluster": "nautilus"}
     )
     thredds_link = topology.links[frozenset(("its-dtn-02", "UCSD"))]
     sampler.add_probe(
-        "thredds_egress_Bps",
+        "thredds_egress_bytes_per_second",
         lambda: flowsim.sample_rates([thredds_link.resource])[
             thredds_link.resource.name
         ],
@@ -272,7 +278,7 @@ def build_nautilus_testbed(
         by_host.setdefault(osd.host, []).append(osd)
     for host, osds in by_host.items():
         sampler.add_probe(
-            "ceph_disk_write_Bps",
+            "ceph_disk_write_bytes_per_second",
             (lambda osds=osds: sum(
                 sum(flowsim.sample_rates([o.disk]).values()) for o in osds
             )),
@@ -289,6 +295,7 @@ def build_nautilus_testbed(
         cephfs=cephfs,
         registry=registry,
         sampler=sampler,
+        tracer=tracer,
         archive=archive,
         thredds=thredds,
         perf=GTX1080TI,

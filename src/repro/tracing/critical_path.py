@@ -1,0 +1,200 @@
+"""Critical-path analysis over a workflow's span tree.
+
+Two questions a Grafana dashboard cannot answer:
+
+1. **Which causal chain bounded the run?**  Steps execute concurrently
+   where the DAG allows; the run is only as fast as its longest
+   dependency chain.  :func:`critical_chain` walks the step spans'
+   recorded ``depends_on`` edges and returns the heaviest chain.
+2. **Where did the time go?**  :func:`attribute_layers` partitions the
+   root span's interval across the layer categories — ``compute`` >
+   ``transfer`` > ``scheduling`` > ``queueing`` in precedence order
+   (overlapping intervals charge the dominant layer), with uncovered
+   time reported as ``orchestration``.  The partition is exact: the
+   layer totals sum to the root duration.
+
+:func:`analyze_run` bundles both into a :class:`CriticalPathReport`.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import typing as _t
+
+from repro.tracing.span import LAYER_CATEGORIES, Span, Tracer
+
+__all__ = [
+    "CriticalPathReport",
+    "analyze_run",
+    "attribute_layers",
+    "critical_chain",
+]
+
+#: Attribution bucket for root time no layer span covers (driver logic,
+#: controller reconciles, queue coordination, retry backoff waits).
+ORCHESTRATION = "orchestration"
+
+
+@dataclasses.dataclass
+class CriticalPathReport:
+    """The per-run profile: longest step chain + per-layer attribution."""
+
+    workflow: str
+    total_s: float
+    #: (step name, step duration) along the heaviest dependency chain.
+    chain: list[tuple[str, float]]
+    #: layer name -> seconds; sums (with orchestration) to ``total_s``.
+    layers: dict[str, float]
+
+    @property
+    def critical_path_s(self) -> float:
+        return sum(duration for _name, duration in self.chain)
+
+    def layer_fraction(self, layer: str) -> float:
+        return self.layers.get(layer, 0.0) / self.total_s if self.total_s else 0.0
+
+    def table(self) -> dict[str, dict[str, float]]:
+        """Layer attribution as rows of seconds and fractions."""
+        return {
+            layer: {
+                "seconds": seconds,
+                "fraction": seconds / self.total_s if self.total_s else 0.0,
+            }
+            for layer, seconds in self.layers.items()
+        }
+
+    def render(self) -> str:
+        """Two-part text report: the chain, then the attribution table."""
+        lines = [
+            f"Critical path — workflow {self.workflow!r} "
+            f"({self.total_s:.1f}s total)",
+            f"  longest chain ({self.critical_path_s:.1f}s, "
+            f"{100.0 * self.critical_path_s / self.total_s if self.total_s else 0.0:.0f}% of run):",
+        ]
+        for name, duration in self.chain:
+            lines.append(f"    {name:<20} {duration:>10.1f}s")
+        lines.append("  time attribution by layer:")
+        for layer, row in self.table().items():
+            lines.append(
+                f"    {layer:<14} {row['seconds']:>10.1f}s  "
+                f"{100.0 * row['fraction']:5.1f}%"
+            )
+        return "\n".join(lines)
+
+
+def critical_chain(step_spans: _t.Sequence[Span]) -> list[tuple[str, float]]:
+    """The heaviest dependency chain through the step spans.
+
+    Each step span carries ``attributes["step"]`` (its name) and
+    ``attributes["depends_on"]`` (upstream step names) — recorded by the
+    workflow driver.  Dependencies without a span (steps restored from a
+    checkpoint, skipped steps) simply end the chain there.
+    """
+    by_name: dict[str, Span] = {}
+    for span in step_spans:
+        name = str(span.attributes.get("step", span.name))
+        by_name[name] = span
+
+    memo: dict[str, tuple[float, list[tuple[str, float]]]] = {}
+
+    def chain_to(name: str) -> tuple[float, list[tuple[str, float]]]:
+        if name in memo:
+            return memo[name]
+        span = by_name[name]
+        memo[name] = (span.duration, [(name, span.duration)])  # cycle guard
+        best = (0.0, [])
+        deps = span.attributes.get("depends_on", ())
+        for dep in deps if isinstance(deps, (list, tuple)) else ():
+            if str(dep) in by_name:
+                candidate = chain_to(str(dep))
+                if candidate[0] > best[0]:
+                    best = candidate
+        result = (
+            best[0] + span.duration,
+            best[1] + [(name, span.duration)],
+        )
+        memo[name] = result
+        return result
+
+    best: tuple[float, list[tuple[str, float]]] = (0.0, [])
+    for name in sorted(by_name):
+        candidate = chain_to(name)
+        if candidate[0] > best[0]:
+            best = candidate
+    return best[1]
+
+
+def attribute_layers(
+    spans: _t.Sequence[Span], root: Span
+) -> dict[str, float]:
+    """Partition the root interval across the layer categories.
+
+    Every finished span whose category is a layer (``compute``,
+    ``transfer``, ``scheduling``, ``queueing``) claims its interval,
+    clipped to the root window.  Where claims overlap, precedence picks
+    one layer (compute wins over transfer wins over scheduling wins over
+    queueing) — so a transfer happening *inside* GPU time is not double
+    counted.  Root time nothing claims is ``orchestration``.  The
+    returned totals sum to the root duration.
+    """
+    if root.end is None:
+        raise ValueError("root span must be finished to attribute layers")
+    intervals: list[tuple[float, float, str]] = []
+    for span in spans:
+        if span.category not in LAYER_CATEGORIES or span.end is None:
+            continue
+        lo = max(span.start, root.start)
+        hi = min(span.end, root.end)
+        if hi > lo:
+            intervals.append((lo, hi, span.category))
+
+    points = sorted(
+        {root.start, root.end}
+        | {lo for lo, _hi, _c in intervals}
+        | {hi for _lo, hi, _c in intervals}
+    )
+    totals = {layer: 0.0 for layer in LAYER_CATEGORIES}
+    totals[ORCHESTRATION] = 0.0
+    for a, b in zip(points, points[1:]):
+        covering = {
+            category
+            for lo, hi, category in intervals
+            if lo <= a and hi >= b
+        }
+        for layer in LAYER_CATEGORIES:  # precedence order
+            if layer in covering:
+                totals[layer] += b - a
+                break
+        else:
+            totals[ORCHESTRATION] += b - a
+    return totals
+
+
+def analyze_run(
+    trace: "Tracer | _t.Sequence[Span]",
+    root: Span | None = None,
+) -> CriticalPathReport:
+    """Build the :class:`CriticalPathReport` for one workflow run.
+
+    ``trace`` is a tracer or a span list; ``root`` defaults to the last
+    finished ``workflow``-category span (the most recent run).
+    """
+    spans = list(trace.spans) if isinstance(trace, Tracer) else list(trace)
+    if root is None:
+        roots = [
+            s for s in spans if s.category == "workflow" and s.end is not None
+        ]
+        if not roots:
+            raise ValueError("no finished workflow root span in trace")
+        root = roots[-1]
+    step_spans = [
+        s
+        for s in spans
+        if s.category == "step" and s.parent_id == root.span_id
+    ]
+    return CriticalPathReport(
+        workflow=str(root.attributes.get("workflow", root.name)),
+        total_s=root.duration,
+        chain=critical_chain(step_spans),
+        layers=attribute_layers(spans, root),
+    )

@@ -1,0 +1,189 @@
+"""Trace exporters: Chrome trace-event JSON and span-derived metrics.
+
+- :func:`to_chrome_trace` / :func:`write_chrome_trace` — the Chrome
+  ``about:tracing`` / Perfetto trace-event format: one ``ph="X"``
+  (complete) event per finished span, microsecond timestamps, one
+  virtual thread per span category (named via ``ph="M"`` metadata
+  events), span attributes in ``args``.
+- :func:`validate_trace` — schema check for exported trace JSON (the CI
+  ``trace-smoke`` job gates on it).
+- :func:`spans_to_metrics` — span durations as series in the existing
+  :class:`~repro.monitoring.metrics.MetricRegistry`, so PromQL queries
+  and Grafana panels can chart trace data next to sampled gauges.
+"""
+
+from __future__ import annotations
+
+import json
+import pathlib
+import typing as _t
+
+from repro.tracing.span import Span, _safe_attrs
+
+if _t.TYPE_CHECKING:  # pragma: no cover
+    from repro.monitoring.metrics import MetricRegistry
+
+__all__ = [
+    "to_chrome_trace",
+    "write_chrome_trace",
+    "validate_trace",
+    "spans_to_metrics",
+]
+
+#: Virtual thread ids per category: every category renders as one named
+#: track in the Chrome/Perfetto timeline.
+_CATEGORY_TIDS = {
+    "workflow": 0,
+    "step": 1,
+    "queueing": 2,
+    "scheduling": 3,
+    "running": 4,
+    "transfer": 5,
+    "compute": 6,
+}
+_FALLBACK_TID = 7
+
+#: One trace second == one simulated second (timestamps are in µs).
+_US = 1e6
+
+
+def _tid(category: str) -> int:
+    return _CATEGORY_TIDS.get(category, _FALLBACK_TID)
+
+
+def to_chrome_trace(spans: _t.Sequence[Span]) -> dict:
+    """Render finished spans as a Chrome trace-event JSON object.
+
+    Load the result at ``chrome://tracing`` or https://ui.perfetto.dev.
+    Unfinished spans are skipped (the driver closes every span when a
+    run's root span ends, so a completed run exports in full).
+    """
+    finished = sorted(
+        (s for s in spans if s.end is not None),
+        key=lambda s: (s.start, s.span_id),
+    )
+    events: list[dict] = []
+    used_tids: dict[int, str] = {}
+    for span in finished:
+        tid = _tid(span.category)
+        used_tids.setdefault(tid, span.category if tid != _FALLBACK_TID else "other")
+        events.append(
+            {
+                "name": span.name,
+                "cat": span.category,
+                "ph": "X",
+                "ts": span.start * _US,
+                "dur": (span.end - span.start) * _US,  # type: ignore[operator]
+                "pid": 1,
+                "tid": tid,
+                "args": {
+                    "span_id": span.span_id,
+                    "parent_id": span.parent_id,
+                    "status": span.status,
+                    **_safe_attrs(span.attributes),
+                },
+            }
+        )
+    metadata = [
+        {
+            "name": "thread_name",
+            "ph": "M",
+            "pid": 1,
+            "tid": tid,
+            "args": {"name": label},
+        }
+        for tid, label in sorted(used_tids.items())
+    ]
+    return {
+        "traceEvents": metadata + events,
+        "displayTimeUnit": "ms",
+        "otherData": {"clock": "simulated", "spans": len(events)},
+    }
+
+
+def write_chrome_trace(
+    spans: _t.Sequence[Span], path: "str | pathlib.Path"
+) -> pathlib.Path:
+    """Write :func:`to_chrome_trace` output to ``path`` (returns it)."""
+    path = pathlib.Path(path)
+    path.write_text(json.dumps(to_chrome_trace(spans), indent=2))
+    return path
+
+
+def validate_trace(data: object) -> list[str]:
+    """Validate exported trace JSON against the span schema.
+
+    Returns problem descriptions (empty list = valid): the top level must
+    carry a ``traceEvents`` list; every event needs a string ``name``, a
+    known ``ph`` (``X`` complete or ``M`` metadata), integer ``pid`` /
+    ``tid``; complete events additionally need non-negative numeric
+    ``ts`` / ``dur``, a string ``cat``, and ``args`` with a ``span_id``.
+    """
+    problems: list[str] = []
+    if not isinstance(data, dict) or "traceEvents" not in data:
+        return ["top level must be an object with a 'traceEvents' list"]
+    events = data["traceEvents"]
+    if not isinstance(events, list):
+        return ["'traceEvents' must be a list"]
+    seen_span_ids: set[int] = set()
+    for i, event in enumerate(events):
+        where = f"traceEvents[{i}]"
+        if not isinstance(event, dict):
+            problems.append(f"{where}: not an object")
+            continue
+        if not isinstance(event.get("name"), str):
+            problems.append(f"{where}: missing string 'name'")
+        ph = event.get("ph")
+        if ph not in ("X", "M"):
+            problems.append(f"{where}: unknown ph {ph!r}")
+            continue
+        for key in ("pid", "tid"):
+            if not isinstance(event.get(key), int):
+                problems.append(f"{where}: missing integer {key!r}")
+        if ph != "X":
+            continue
+        for key in ("ts", "dur"):
+            value = event.get(key)
+            if not isinstance(value, (int, float)) or value < 0:
+                problems.append(f"{where}: {key!r} must be a number >= 0")
+        if not isinstance(event.get("cat"), str):
+            problems.append(f"{where}: missing string 'cat'")
+        args = event.get("args")
+        if not isinstance(args, dict) or "span_id" not in args:
+            problems.append(f"{where}: 'args' must carry 'span_id'")
+        else:
+            span_id = args["span_id"]
+            if span_id in seen_span_ids:
+                problems.append(f"{where}: duplicate span_id {span_id}")
+            seen_span_ids.add(span_id)
+    if not seen_span_ids:
+        problems.append("trace contains no complete ('X') span events")
+    return problems
+
+
+def spans_to_metrics(
+    spans: _t.Sequence[Span],
+    registry: "MetricRegistry",
+    workflow: str | None = None,
+) -> int:
+    """Export span durations into the metric registry.
+
+    Appends one ``span_duration_seconds`` sample per finished span,
+    labelled by category (and workflow when given), stamped at the
+    span's **end** time.  Samples land in global end-time order so the
+    registry's non-decreasing-time invariant holds even when the
+    registry clock has moved past the spans being exported.  Returns the
+    number of samples written.
+    """
+    finished = sorted(
+        (s for s in spans if s.end is not None),
+        key=lambda s: (s.end, s.span_id),
+    )
+    labels_base = {"workflow": workflow} if workflow else {}
+    for span in finished:
+        labels = {"category": span.category, **labels_base}
+        registry.set_gauge_at(
+            "span_duration_seconds", span.duration, span.end, labels
+        )
+        registry.inc_counter_at("spans_total", span.end, 1.0, labels)
+    return len(finished)

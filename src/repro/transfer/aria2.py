@@ -32,6 +32,7 @@ from repro.transfer.thredds import SubsetRequest, ThreddsServer
 
 if _t.TYPE_CHECKING:  # pragma: no cover
     from repro.monitoring.metrics import MetricRegistry
+    from repro.tracing.span import Span, Tracer
 
 __all__ = ["DownloadStats", "Aria2Downloader"]
 
@@ -99,6 +100,8 @@ class Aria2Downloader:
         metrics: "MetricRegistry | None" = None,
         on_progress: _t.Callable[[], None] | None = None,
         seed: int = 0,
+        tracer: "Tracer | None" = None,
+        span_parent: "Span | None" = None,
     ):
         if connections < 1:
             raise ValueError("connections must be >= 1")
@@ -122,6 +125,11 @@ class Aria2Downloader:
         )
         self.metrics = metrics
         self.on_progress = on_progress
+        #: optional span tracer + parent span: each connection's fetch
+        #: (slot wait + request + flow) becomes one ``transfer`` span
+        #: carrying bytes and achieved rate.
+        self.tracer = tracer
+        self.span_parent = span_parent
         self._rng = np.random.default_rng(derive_seed(seed, "aria2", host))
         self._slots = Resource(env, capacity=connections)
         self.total_stats = DownloadStats()
@@ -133,6 +141,25 @@ class Aria2Downloader:
     def _count(self, metric: str) -> None:
         if self.metrics is not None:
             self.metrics.inc_counter(metric, 1.0, {"host": self.host})
+
+    def _span_open(self, name: str, nbytes: float) -> "Span | None":
+        if self.tracer is None:
+            return None
+        return self.tracer.start(
+            name,
+            "transfer",
+            parent=self.span_parent,
+            attributes={"bytes": float(nbytes), "host": self.host},
+        )
+
+    def _span_close(
+        self, span: "Span | None", nbytes: float, status: str = "ok"
+    ) -> None:
+        if span is None or self.tracer is None:
+            return
+        self.tracer.finish(span, status=status)
+        if status == "ok" and span.duration > 0:
+            span.attributes["rate_Bps"] = nbytes / span.duration
 
     def _transfer_or_deadline(
         self, nbytes: float, name: str, deadline_at: float | None
@@ -238,13 +265,21 @@ class Aria2Downloader:
 
     def _download_one(self, request: SubsetRequest):
         """One connection: overhead + flow across the server->host path."""
-        with self._slots.request() as slot:
-            yield slot
-            yield from self._fetch(
-                request.nbytes,
-                f"aria2:{self.host}:{request.granule.name}",
-                self.server.request_overhead_s,
-            )
+        span = self._span_open(
+            f"download:{request.granule.name}", request.nbytes
+        )
+        try:
+            with self._slots.request() as slot:
+                yield slot
+                yield from self._fetch(
+                    request.nbytes,
+                    f"aria2:{self.host}:{request.granule.name}",
+                    self.server.request_overhead_s,
+                )
+        except BaseException:
+            self._span_close(span, request.nbytes, status="error")
+            raise
+        self._span_close(span, request.nbytes)
         self.total_stats.files += 1
         self.total_stats.bytes += request.nbytes
         if self.on_progress is not None:
@@ -254,13 +289,21 @@ class Aria2Downloader:
         """One connection streaming many files back-to-back: summed
         request overheads + one flow carrying the combined payload."""
         total = sum(r.nbytes for r in requests)
-        with self._slots.request() as slot:
-            yield slot
-            yield from self._fetch(
-                total,
-                f"aria2-stream:{self.host}:{len(requests)}f",
-                self.server.request_overhead_s * len(requests),
-            )
+        span = self._span_open(
+            f"stream:{self.host}:{len(requests)}f", total
+        )
+        try:
+            with self._slots.request() as slot:
+                yield slot
+                yield from self._fetch(
+                    total,
+                    f"aria2-stream:{self.host}:{len(requests)}f",
+                    self.server.request_overhead_s * len(requests),
+                )
+        except BaseException:
+            self._span_close(span, total, status="error")
+            raise
+        self._span_close(span, total)
         self.total_stats.files += len(requests)
         self.total_stats.bytes += total
         if self.on_progress is not None:

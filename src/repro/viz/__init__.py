@@ -19,6 +19,7 @@ from repro.viz.report import (
     figure6_stats,
 )
 from repro.viz.ascii import bar_chart, text_table
+from repro.viz.flame import flame_summary
 
 __all__ = [
     "render_figure1",
@@ -34,4 +35,5 @@ __all__ = [
     "figure6_stats",
     "bar_chart",
     "text_table",
+    "flame_summary",
 ]

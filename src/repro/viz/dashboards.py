@@ -10,7 +10,7 @@ from __future__ import annotations
 
 import typing as _t
 
-from repro.monitoring import Dashboard, Panel
+from repro.monitoring.grafana import Dashboard, Panel
 
 if _t.TYPE_CHECKING:  # pragma: no cover
     from repro.testbed import NautilusTestbed
@@ -23,18 +23,18 @@ def build_cluster_dashboard(testbed: "NautilusTestbed") -> Dashboard:
     dash = Dashboard(f"Nautilus cluster — {testbed.cluster.name}",
                      testbed.registry)
     dash.add_panel(Panel(title="CPU allocated (cores)",
-                         metric="node_cpu_allocated", unit="cores"))
+                         metric="node_cpu_allocated_cores", unit="cores"))
     dash.add_panel(Panel(title="Memory allocated",
-                         metric="node_memory_allocated", unit="GB",
+                         metric="node_memory_allocated_bytes", unit="GB",
                          scale=1e-9))
-    dash.add_panel(Panel(title="GPUs in use", metric="node_gpu_in_use",
+    dash.add_panel(Panel(title="GPUs in use", metric="node_gpus_in_use",
                          unit="GPUs"))
-    dash.add_panel(Panel(title="Ceph bytes stored", metric="ceph_bytes_used",
+    dash.add_panel(Panel(title="Ceph bytes stored", metric="ceph_used_bytes",
                          unit="TB", scale=1e-12, kind="stat"))
     dash.add_panel(Panel(title="Ceph disk writes",
-                         metric="ceph_disk_write_Bps", unit="MB/s",
+                         metric="ceph_disk_write_bytes_per_second", unit="MB/s",
                          scale=1e-6))
-    dash.add_panel(Panel(title="THREDDS egress", metric="thredds_egress_Bps",
+    dash.add_panel(Panel(title="THREDDS egress", metric="thredds_egress_bytes_per_second",
                          unit="MB/s", scale=1e-6))
     return dash
 
@@ -43,15 +43,15 @@ def build_workflow_dashboard(testbed: "NautilusTestbed") -> Dashboard:
     """The workflow view: the per-step series Figures 3/5/6 are built on."""
     dash = Dashboard("CONNECT workflow", testbed.registry)
     dash.add_panel(Panel(title="Step 1 worker CPU (per worker)",
-                         metric="step1_worker_cpu", unit="cores"))
+                         metric="step1_worker_cpu_cores", unit="cores"))
     dash.add_panel(Panel(title="Step 1 bytes downloaded",
-                         metric="step1_bytes_downloaded", unit="GB",
+                         metric="step1_downloaded_bytes_total", unit="GB",
                          scale=1e-9, kind="stat"))
     dash.add_panel(Panel(title="Step 2 phase (0 fetch/1 prep/2 train/3 done)",
                          metric="step2_phase"))
     dash.add_panel(Panel(title="Step 3 GPU busy (per worker)",
                          metric="step3_gpu_busy"))
     dash.add_panel(Panel(title="Step 3 voxels segmented",
-                         metric="step3_voxels_done", kind="stat",
+                         metric="step3_voxels_done_total", kind="stat",
                          unit="voxels"))
     return dash

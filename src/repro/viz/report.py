@@ -10,7 +10,7 @@ from __future__ import annotations
 
 import typing as _t
 
-from repro.monitoring import promql
+import repro.monitoring.promql as promql
 from repro.monitoring.grafana import sparkline
 from repro.viz.ascii import bar_chart, text_table
 
@@ -82,7 +82,7 @@ def figure3_stats(
     """Download-job orchestration numbers (paper: 10 workers, 37 min,
     246 GB, 112,249 files)."""
     step = report.step("download")
-    series = testbed.registry.all_series("step1_worker_cpu")
+    series = testbed.registry.all_series("step1_worker_cpu_cores")
     workers = {dict(ts.labels).get("worker") for ts in series}
     return {
         "workers": float(len(workers)),
@@ -105,13 +105,13 @@ def render_figure3(testbed: "NautilusTestbed", report: "WorkflowReport") -> str:
         f"({stats['files']:,.0f} NetCDF files)",
         "  per-worker CPU (cores):",
     ]
-    for ts in testbed.registry.all_series("step1_worker_cpu"):
+    for ts in testbed.registry.all_series("step1_worker_cpu_cores"):
         worker = dict(ts.labels).get("worker", "?")
         times, values = ts.window(start, end)
         lines.append(f"    {worker:<26} {sparkline(values, width=48)}")
     mem = [
         ts
-        for ts in testbed.registry.all_series("node_memory_allocated")
+        for ts in testbed.registry.all_series("node_memory_allocated_bytes")
         if len(ts)
     ]
     if mem:
@@ -132,8 +132,8 @@ def figure4_stats(
     throughput max 2.64 GB per sample)."""
     start, end = _step_window(report, "download")
     interval = sample_interval or testbed.sampler.interval
-    egress = testbed.registry.all_series("thredds_egress_Bps")
-    disk = testbed.registry.all_series("ceph_disk_write_Bps")
+    egress = testbed.registry.all_series("thredds_egress_bytes_per_second")
+    disk = testbed.registry.all_series("ceph_disk_write_bytes_per_second")
     peak_egress = max(
         (promql.max_over_time(ts, start, end) for ts in egress), default=0.0
     )
@@ -161,8 +161,8 @@ def render_figure4(testbed: "NautilusTestbed", report: "WorkflowReport") -> str:
         f"per {testbed.sampler.interval:.0f}s sample",
     ]
     for name, label in (
-        ("thredds_egress_Bps", "THREDDS egress (B/s)"),
-        ("ceph_disk_write_Bps", "Ceph disk writes (B/s)"),
+        ("thredds_egress_bytes_per_second", "THREDDS egress (B/s)"),
+        ("ceph_disk_write_bytes_per_second", "Ceph disk writes (B/s)"),
     ):
         for ts in testbed.registry.all_series(name):
             _, values = ts.window(start, end)
@@ -222,7 +222,7 @@ def figure6_stats(
     """Inference job utilization (paper: 50 GPUs, 1133 min)."""
     step = report.step("inference")
     start, end = _step_window(report, "inference")
-    gpu_series = testbed.registry.all_series("node_gpu_in_use")
+    gpu_series = testbed.registry.all_series("node_gpus_in_use")
     grid, total_gpu = promql.sum_series(gpu_series)
     if len(grid):
         mask = (grid >= start) & (grid <= end)
@@ -248,9 +248,9 @@ def render_figure6(testbed: "NautilusTestbed", report: "WorkflowReport") -> str:
         f"{stats['voxels']:.3g} voxels",
     ]
     for metric, label in (
-        ("node_cpu_allocated", "CPUs in use"),
-        ("node_memory_allocated", "Memory in use"),
-        ("node_gpu_in_use", "GPUs in use"),
+        ("node_cpu_allocated_cores", "CPUs in use"),
+        ("node_memory_allocated_bytes", "Memory in use"),
+        ("node_gpus_in_use", "GPUs in use"),
     ):
         series = testbed.registry.all_series(metric)
         grid, total = promql.sum_series(series)

@@ -187,6 +187,8 @@ class DownloadStep(WorkflowStep):
                     metrics=tb.registry,
                     on_progress=pod_ctx.heartbeat,
                     seed=tb.seed,
+                    tracer=getattr(tb, "tracer", None),
+                    span_parent=ctx.span,
                 )
                 resolve_rng = np.random.default_rng(
                     derive_seed(tb.seed, "resolve", worker)
@@ -209,13 +211,13 @@ class DownloadStep(WorkflowStep):
                             policy,
                             resolve_rng,
                         )
-                        ctx.gauge("step1_worker_cpu", 0.5, {"worker": worker})
+                        ctx.gauge("step1_worker_cpu_cores", 0.5, {"worker": worker})
                         stats = yield from downloader.download_batch(requests)
                         sizes = {
                             r.granule.index: r.nbytes for r in requests
                         }
                         ctx.gauge(
-                            "step1_worker_cpu",
+                            "step1_worker_cpu_cores",
                             float(p["worker_cpu"]),
                             {"worker": worker},
                         )
@@ -232,16 +234,16 @@ class DownloadStep(WorkflowStep):
                         queue.ack(worker, msg)
                         bytes_downloaded[0] += stats.bytes
                         ctx.counter(
-                            "step1_bytes_downloaded",
+                            "step1_downloaded_bytes_total",
                             stats.bytes,
                             {"worker": worker},
                         )
                         ctx.counter(
-                            "step1_files_downloaded",
+                            "step1_downloaded_files_total",
                             stats.files,
                             {"worker": worker},
                         )
-                        ctx.gauge("step1_worker_cpu", 0.5, {"worker": worker})
+                        ctx.gauge("step1_worker_cpu_cores", 0.5, {"worker": worker})
                 except ProcessKilled:
                     # Crash/NodeLost/LivenessFailed: put unacked work back
                     # for the replacement pod (§III-A's fault tolerance).
@@ -253,7 +255,7 @@ class DownloadStep(WorkflowStep):
                     # restarted worker would never see it again.
                     queue.recover(worker)
                     raise
-                ctx.gauge("step1_worker_cpu", 0.0, {"worker": worker})
+                ctx.gauge("step1_worker_cpu_cores", 0.0, {"worker": worker})
                 return stats_total(worker)
 
             def stats_total(worker: str) -> float:
@@ -332,12 +334,18 @@ class DownloadStep(WorkflowStep):
             labels = tb.merra_generator().label_volume(0, nt)
             volume_path = "/ivt/connect-input-volume.npy"
             labels_path = "/ivt/connect-labels.npy"
-            yield tb.cephfs.write_timed(
-                volume_path, float(ivt.nbytes), payload=ivt
-            )
-            yield tb.cephfs.write_timed(
-                labels_path, float(labels.nbytes), payload=labels
-            )
+            with ctx.trace(
+                "materialize-content",
+                "transfer",
+                bytes=float(ivt.nbytes + labels.nbytes),
+                timesteps=nt,
+            ):
+                yield tb.cephfs.write_timed(
+                    volume_path, float(ivt.nbytes), payload=ivt
+                )
+                yield tb.cephfs.write_timed(
+                    labels_path, float(labels.nbytes), payload=labels
+                )
             content = {
                 "content_volume_path": volume_path,
                 "content_labels_path": labels_path,
@@ -392,14 +400,18 @@ class TrainingStep(WorkflowStep):
             worker = pod_ctx.pod.meta.name
             # Pull the training volume (the 381 MB merged HDF) from Ceph.
             ctx.gauge("step2_phase", 0.0, {"pod": worker})  # 0 = fetching
-            yield tb.cephfs.cluster.put(
-                "merra", "training/connect-labels-30d.h5", TRAIN_DATA_BYTES
-            )
-            yield tb.ceph.get("merra", "training/connect-labels-30d.h5",
-                              client_host=host)
+            with ctx.trace(
+                "fetch-training-volume", "transfer", bytes=TRAIN_DATA_BYTES
+            ):
+                yield tb.cephfs.cluster.put(
+                    "merra", "training/connect-labels-30d.h5", TRAIN_DATA_BYTES
+                )
+                yield tb.ceph.get("merra", "training/connect-labels-30d.h5",
+                                  client_host=host)
             # Data prep: partition volumes + coordinates (Figure 5, purple).
             ctx.gauge("step2_phase", 1.0, {"pod": worker})
-            yield env.timeout(tb.perf.train_prep_seconds(train_voxels))
+            with ctx.trace("data-prep", "compute", voxels=train_voxels):
+                yield env.timeout(tb.perf.train_prep_seconds(train_voxels))
             # Real ML: train the FFN — preferably on the data step 1
             # materialized into the shared store ("the data has been
             # transferred to the storage volume (CephFS accessible by all
@@ -464,18 +476,24 @@ class TrainingStep(WorkflowStep):
                 checkpoint_bytes = 4e6
             # Paper-scale training time (Figure 5, green).
             ctx.gauge("step2_phase", 2.0, {"pod": worker})
-            yield env.timeout(
-                tb.perf.training_seconds(train_voxels, worker=worker, seed=tb.seed)
-            )
+            with ctx.trace("training", "compute", voxels=train_voxels):
+                yield env.timeout(
+                    tb.perf.training_seconds(
+                        train_voxels, worker=worker, seed=tb.seed
+                    )
+                )
             # Save the checkpoint: "the trained FFN model is then saved in
             # the Ceph Object Store, including all parameters" (§III-C).
-            yield tb.ceph.put(
-                "models",
-                str(p["model_object"]),
-                checkpoint_bytes,
-                payload=results.get("model_state"),
-                client_host=host,
-            )
+            with ctx.trace(
+                "save-checkpoint", "transfer", bytes=float(checkpoint_bytes)
+            ):
+                yield tb.ceph.put(
+                    "models",
+                    str(p["model_object"]),
+                    checkpoint_bytes,
+                    payload=results.get("model_state"),
+                    client_host=host,
+                )
             ctx.gauge("step2_phase", 3.0, {"pod": worker})
             return "trained"
 
@@ -551,27 +569,36 @@ class InferenceStep(WorkflowStep):
                 host = pod_ctx.node.spec.name
                 worker = f"inf-{index}"
                 # Fetch the model + this shard's data from the store.
-                yield tb.ceph.get(
-                    "models", str(training.get("model_object",
-                                               "ffn/checkpoint-v1")),
-                    client_host=host,
-                )
-                yield from _timed_ceph_read(tb, shard_bytes, host, worker)
-                ctx.gauge("step3_gpu_busy", 1.0, {"worker": worker})
-                yield env.timeout(
-                    tb.perf.inference_seconds(
-                        shard_voxels, worker=worker, seed=tb.seed
+                with ctx.trace(
+                    f"fetch-shard:{index}", "transfer", bytes=shard_bytes
+                ):
+                    yield tb.ceph.get(
+                        "models", str(training.get("model_object",
+                                                   "ffn/checkpoint-v1")),
+                        client_host=host,
                     )
-                )
+                    yield from _timed_ceph_read(tb, shard_bytes, host, worker)
+                ctx.gauge("step3_gpu_busy", 1.0, {"worker": worker})
+                with ctx.trace(
+                    f"infer-shard:{index}", "compute", voxels=shard_voxels
+                ):
+                    yield env.timeout(
+                        tb.perf.inference_seconds(
+                            shard_voxels, worker=worker, seed=tb.seed
+                        )
+                    )
                 ctx.gauge("step3_gpu_busy", 0.0, {"worker": worker})
                 result_name = f"{p['results_prefix']}/shard-{index:03d}.labels"
                 result_bytes = shard_voxels * RESULT_BYTES_PER_VOXEL
-                yield tb.ceph.put(
-                    "results", result_name, result_bytes, client_host=host
-                )
+                with ctx.trace(
+                    f"put-results:{index}", "transfer", bytes=result_bytes
+                ):
+                    yield tb.ceph.put(
+                        "results", result_name, result_bytes, client_host=host
+                    )
                 result_objects.append(result_name)
                 total_result_bytes[0] += result_bytes
-                ctx.counter("step3_voxels_done", shard_voxels, {"worker": worker})
+                ctx.counter("step3_voxels_done_total", shard_voxels, {"worker": worker})
                 return shard_voxels
 
             return PodSpec(
@@ -618,6 +645,8 @@ class InferenceStep(WorkflowStep):
                 n_workers=int(p["real_shards"]),
                 halo=int(p["real_halo"]),
                 max_workers=int(p["real_max_workers"]),
+                tracer=getattr(tb, "tracer", None),
+                span_parent=ctx.span,
             )
             scores = voxel_metrics(labels, truth)
             real = {
@@ -678,11 +707,12 @@ class VisualizationStep(WorkflowStep):
         def main(pod_ctx):
             host = pod_ctx.node.spec.name
             # Mount the store; load the most recent results (§III-D).
-            for name in list(inference.get("result_objects", []))[:8]:
-                yield tb.ceph.get("results", name, client_host=host)
-            if result_bytes:
-                remaining = result_bytes
-                yield from _timed_ceph_read(tb, remaining, host, "viz")
+            with ctx.trace("load-results", "transfer", bytes=result_bytes):
+                for name in list(inference.get("result_objects", []))[:8]:
+                    yield tb.ceph.get("results", name, client_host=host)
+                if result_bytes:
+                    remaining = result_bytes
+                    yield from _timed_ceph_read(tb, remaining, host, "viz")
             # Real analysis: object statistics over the FFN labels via
             # CONNECT's life-cycle machinery.
             if p["real_ml"] and "label_volume" in inference:

@@ -26,6 +26,11 @@ if _t.TYPE_CHECKING:  # pragma: no cover - import cycle guard
 __all__ = ["WorkflowDriver", "WorkflowReport"]
 
 
+#: Serialization format shared by reports and checkpoints (see
+#: :mod:`repro.workflow.persistence`).
+REPORT_FORMAT_VERSION = 1
+
+
 @dataclasses.dataclass
 class WorkflowReport:
     """Outcome of one workflow execution."""
@@ -37,6 +42,28 @@ class WorkflowReport:
     @property
     def succeeded(self) -> bool:
         return all(s.succeeded for s in self.steps)
+
+    def to_dict(self) -> dict:
+        """A JSON-safe projection (the stable persistence shape)."""
+        return {
+            "format_version": REPORT_FORMAT_VERSION,
+            "workflow_name": self.workflow_name,
+            "total_duration_s": self.total_duration_s,
+            "succeeded": self.succeeded,
+            "steps": [s.to_dict() for s in self.steps],
+        }
+
+    @classmethod
+    def from_dict(cls, data: dict) -> "WorkflowReport":
+        """Rebuild a report from :meth:`to_dict` output."""
+        version = data.get("format_version")
+        if version != REPORT_FORMAT_VERSION:
+            raise ValueError(f"unsupported report format version: {version!r}")
+        return cls(
+            workflow_name=data["workflow_name"],
+            steps=[StepReport.from_dict(raw) for raw in data["steps"]],
+            total_duration_s=data["total_duration_s"],
+        )
 
     def step(self, name: str) -> StepReport:
         for report in self.steps:
@@ -141,6 +168,14 @@ class WorkflowDriver:
         """
         env = self.testbed.env
         start = env.now
+        tracer = getattr(self.testbed, "tracer", None)
+        root_span = (
+            tracer.start_root(
+                workflow.name, "workflow", attributes={"workflow": workflow.name}
+            )
+            if tracer is not None
+            else None
+        )
         reports: list[StepReport] = []
         reports_by_name: dict[str, StepReport] = {}
         artifacts: dict[str, dict] = {}
@@ -172,12 +207,28 @@ class WorkflowDriver:
                 self.testbed.cluster.create_namespace(namespace)
             meter = _NamespaceMeter(namespace)
             self.testbed.cluster.phase_hooks.append(meter.on_phase)
+            step_span = None
+            if tracer is not None:
+                step_span = tracer.start(
+                    step.name,
+                    "step",
+                    parent=root_span,
+                    attributes={
+                        "step": step.name,
+                        "depends_on": list(step.depends_on),
+                        "namespace": namespace,
+                    },
+                )
+                # Components that only know the namespace (the cluster's
+                # pod lifecycle) parent their spans under this step.
+                tracer.bind_scope(namespace, step_span)
             ctx = StepContext(
                 testbed=self.testbed,
                 params=dict(step.params),
                 artifacts=artifacts,
                 report=report,
                 namespace=namespace,
+                span=step_span,
             )
             report.start_time = env.now
             error: str | None = None
@@ -234,6 +285,13 @@ class WorkflowDriver:
                 self._absorb_meter(report, meter)
                 if meter.on_phase in self.testbed.cluster.phase_hooks:
                     self.testbed.cluster.phase_hooks.remove(meter.on_phase)
+                if tracer is not None and step_span is not None:
+                    tracer.unbind_scope(namespace)
+                    tracer.finish(
+                        step_span,
+                        status="ok" if report.succeeded else "error",
+                        attributes={"retries": report.retries},
+                    )
             artifacts[step.name] = dict(report.artifacts)
             if error is None and checkpoint is not None:
                 checkpoint.record(report, artifacts[step.name])
@@ -301,11 +359,16 @@ class WorkflowDriver:
             # Expected on a deadline kill: settle same-time interrupt
             # cascades so every step report is closed before we return.
             env.run(until=env.now)
-        return WorkflowReport(
+        report = WorkflowReport(
             workflow_name=workflow.name,
             steps=reports,
             total_duration_s=env.now - start,
         )
+        if tracer is not None and root_span is not None:
+            tracer.finish_root(
+                root_span, status="ok" if report.succeeded else "error"
+            )
+        return report
 
     @staticmethod
     def _absorb_meter(report: StepReport, meter: _NamespaceMeter) -> None:

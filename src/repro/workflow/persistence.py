@@ -17,16 +17,12 @@ still hand downstream steps their upstream artifacts.
 from __future__ import annotations
 
 import copy
-import dataclasses
 import json
 import pathlib
-import typing as _t
-
-import numpy as np
 
 from repro.errors import WorkflowError
-from repro.workflow.driver import WorkflowReport
-from repro.workflow.step import StepReport
+from repro.workflow.driver import REPORT_FORMAT_VERSION, WorkflowReport
+from repro.workflow.step import StepReport, sanitize_artifact_value
 
 __all__ = [
     "report_to_dict",
@@ -36,94 +32,23 @@ __all__ = [
     "WorkflowCheckpoint",
 ]
 
-_FORMAT_VERSION = 1
+_FORMAT_VERSION = REPORT_FORMAT_VERSION
 
-
-def _sanitize(value: object) -> object:
-    """Make one artifact value JSON-safe (summarizing when needed)."""
-    if isinstance(value, (str, int, float, bool)) or value is None:
-        return value
-    if isinstance(value, (np.integer,)):
-        return int(value)
-    if isinstance(value, (np.floating,)):
-        return float(value)
-    if isinstance(value, np.ndarray):
-        return {
-            "__array_summary__": True,
-            "shape": list(value.shape),
-            "dtype": str(value.dtype),
-            "nonzero": int(np.count_nonzero(value)),
-        }
-    if isinstance(value, (list, tuple)):
-        return [_sanitize(v) for v in value]
-    if isinstance(value, dict):
-        return {str(k): _sanitize(v) for k, v in value.items()}
-    if dataclasses.is_dataclass(value) and not isinstance(value, type):
-        return {
-            "__dataclass__": type(value).__name__,
-            **_sanitize(dataclasses.asdict(value)),
-        }
-    return {"__repr__": repr(value), "__type__": type(value).__name__}
-
-
-def _step_to_dict(s: StepReport) -> dict:
-    return {
-        "name": s.name,
-        "start_time": s.start_time,
-        "end_time": s.end_time,
-        "pods": s.pods,
-        "cpus": s.cpus,
-        "gpus": s.gpus,
-        "memory_bytes": s.memory_bytes,
-        "data_processed_bytes": s.data_processed_bytes,
-        "interactive": s.interactive,
-        "succeeded": s.succeeded,
-        "error": s.error,
-        "retries": s.retries,
-        "resumed": s.resumed,
-        "artifacts": _sanitize(s.artifacts),
-    }
-
-
-def _step_from_dict(raw: dict) -> StepReport:
-    step = StepReport(name=raw["name"])
-    step.start_time = raw["start_time"]
-    step.end_time = raw["end_time"]
-    step.pods = raw["pods"]
-    step.cpus = raw["cpus"]
-    step.gpus = raw["gpus"]
-    step.memory_bytes = raw["memory_bytes"]
-    step.data_processed_bytes = raw["data_processed_bytes"]
-    step.interactive = raw["interactive"]
-    step.succeeded = raw["succeeded"]
-    step.error = raw["error"]
-    step.retries = raw.get("retries", 0)
-    step.resumed = raw.get("resumed", False)
-    step.artifacts = dict(raw["artifacts"])
-    return step
+#: Kept as module-level helpers for backwards compatibility; the stable
+#: shapes now live on the report classes themselves
+#: (:meth:`StepReport.to_dict` / :meth:`WorkflowReport.to_dict`), shared
+#: between saved reports and checkpoints.
+_sanitize = sanitize_artifact_value
 
 
 def report_to_dict(report: WorkflowReport) -> dict:
     """A JSON-safe dictionary of a workflow report."""
-    return {
-        "format_version": _FORMAT_VERSION,
-        "workflow_name": report.workflow_name,
-        "total_duration_s": report.total_duration_s,
-        "succeeded": report.succeeded,
-        "steps": [_step_to_dict(s) for s in report.steps],
-    }
+    return report.to_dict()
 
 
 def report_from_dict(data: dict) -> WorkflowReport:
     """Rebuild a report from :func:`report_to_dict` output."""
-    version = data.get("format_version")
-    if version != _FORMAT_VERSION:
-        raise ValueError(f"unsupported report format version: {version!r}")
-    return WorkflowReport(
-        workflow_name=data["workflow_name"],
-        steps=[_step_from_dict(raw) for raw in data["steps"]],
-        total_duration_s=data["total_duration_s"],
-    )
+    return WorkflowReport.from_dict(data)
 
 
 def save_report(report: WorkflowReport, path: "str | pathlib.Path") -> None:
@@ -197,9 +122,10 @@ class WorkflowCheckpoint:
         return {
             "format_version": _FORMAT_VERSION,
             "workflow_name": self.workflow_name,
-            "steps": {name: _step_to_dict(r) for name, r in self.reports.items()},
+            "steps": {name: r.to_dict() for name, r in self.reports.items()},
             "artifacts": {
-                name: _sanitize(arts) for name, arts in self.artifacts.items()
+                name: sanitize_artifact_value(arts)
+                for name, arts in self.artifacts.items()
             },
         }
 
@@ -210,7 +136,7 @@ class WorkflowCheckpoint:
             raise ValueError(f"unsupported checkpoint format version: {version!r}")
         ckpt = cls(workflow_name=data["workflow_name"])
         for name, raw in data["steps"].items():
-            ckpt.reports[name] = _step_from_dict(raw)
+            ckpt.reports[name] = StepReport.from_dict(raw)
         for name, arts in data["artifacts"].items():
             ckpt.artifacts[name] = dict(arts)
         return ckpt

@@ -10,15 +10,51 @@ declared resources, measured every time it runs.
 
 from __future__ import annotations
 
+import contextlib
 import dataclasses
 import typing as _t
+
+import numpy as np
 
 from repro.errors import ValidationError
 
 if _t.TYPE_CHECKING:  # pragma: no cover
     from repro.testbed import NautilusTestbed
+    from repro.tracing.span import Span
 
 __all__ = ["StepReport", "StepContext", "WorkflowStep"]
+
+
+def sanitize_artifact_value(value: object) -> object:
+    """Make one artifact value JSON-safe (summarizing when needed).
+
+    Numbers and strings round-trip exactly; arrays, dataclasses, and
+    other rich objects degrade to summaries rather than being dropped —
+    a reloaded report still tells you what a run produced.
+    """
+    if isinstance(value, (str, int, float, bool)) or value is None:
+        return value
+    if isinstance(value, (np.integer,)):
+        return int(value)
+    if isinstance(value, (np.floating,)):
+        return float(value)
+    if isinstance(value, np.ndarray):
+        return {
+            "__array_summary__": True,
+            "shape": list(value.shape),
+            "dtype": str(value.dtype),
+            "nonzero": int(np.count_nonzero(value)),
+        }
+    if isinstance(value, (list, tuple)):
+        return [sanitize_artifact_value(v) for v in value]
+    if isinstance(value, dict):
+        return {str(k): sanitize_artifact_value(v) for k, v in value.items()}
+    if dataclasses.is_dataclass(value) and not isinstance(value, type):
+        return {
+            "__dataclass__": type(value).__name__,
+            **sanitize_artifact_value(dataclasses.asdict(value)),  # type: ignore[dict-item]
+        }
+    return {"__repr__": repr(value), "__type__": type(value).__name__}
 
 
 @dataclasses.dataclass
@@ -54,6 +90,44 @@ class StepReport:
             return "NA"
         return f"{self.duration_minutes:.0f}m"
 
+    def to_dict(self) -> dict:
+        """A JSON-safe projection (the stable persistence shape)."""
+        return {
+            "name": self.name,
+            "start_time": self.start_time,
+            "end_time": self.end_time,
+            "pods": self.pods,
+            "cpus": self.cpus,
+            "gpus": self.gpus,
+            "memory_bytes": self.memory_bytes,
+            "data_processed_bytes": self.data_processed_bytes,
+            "interactive": self.interactive,
+            "succeeded": self.succeeded,
+            "error": self.error,
+            "retries": self.retries,
+            "resumed": self.resumed,
+            "artifacts": sanitize_artifact_value(self.artifacts),
+        }
+
+    @classmethod
+    def from_dict(cls, raw: dict) -> "StepReport":
+        """Rebuild a report from :meth:`to_dict` output."""
+        step = cls(name=raw["name"])
+        step.start_time = raw["start_time"]
+        step.end_time = raw["end_time"]
+        step.pods = raw["pods"]
+        step.cpus = raw["cpus"]
+        step.gpus = raw["gpus"]
+        step.memory_bytes = raw["memory_bytes"]
+        step.data_processed_bytes = raw["data_processed_bytes"]
+        step.interactive = raw["interactive"]
+        step.succeeded = raw["succeeded"]
+        step.error = raw["error"]
+        step.retries = raw.get("retries", 0)
+        step.resumed = raw.get("resumed", False)
+        step.artifacts = dict(raw["artifacts"])
+        return step
+
 
 class StepContext:
     """What a running step can touch.
@@ -80,16 +154,32 @@ class StepContext:
         artifacts: dict[str, dict],
         report: StepReport,
         namespace: str,
+        span: "Span | None" = None,
     ):
         self.testbed = testbed
         self.params = params
         self.artifacts = artifacts
         self.report = report
         self.namespace = namespace
+        #: this step's trace span (None when the run is untraced)
+        self.span = span
 
     @property
     def env(self):
         return self.testbed.env
+
+    def trace(self, name: str, category: str = "compute", **attributes):
+        """A child span of this step, or a no-op when untraced.
+
+        Usable as a context manager around any phase of the step body::
+
+            with ctx.trace("training", "compute", epochs=n):
+                yield env.timeout(training_seconds)
+        """
+        tracer = getattr(self.testbed, "tracer", None)
+        if tracer is None or self.span is None:
+            return contextlib.nullcontext()
+        return tracer.span(name, category, parent=self.span, attributes=attributes)
 
     def gauge(self, name: str, value: float, labels: dict | None = None) -> None:
         """Record a step-scoped gauge (labelled with the step name)."""

@@ -1,0 +1,61 @@
+"""Prometheus-convention metric names and the legacy alias map."""
+
+import pytest
+
+from repro.monitoring.metrics import (
+    METRIC_ALIASES,
+    MetricRegistry,
+    canonical_metric_name,
+)
+from repro.sim import Environment
+
+
+@pytest.fixture
+def registry():
+    return MetricRegistry(Environment())
+
+
+def test_canonical_metric_name_maps_and_passes_through():
+    assert canonical_metric_name("node_gpu_in_use") == "node_gpus_in_use"
+    assert (
+        canonical_metric_name("thredds_egress_Bps")
+        == "thredds_egress_bytes_per_second"
+    )
+    # Canonical and unknown names pass through unchanged.
+    assert canonical_metric_name("node_gpus_in_use") == "node_gpus_in_use"
+    assert canonical_metric_name("custom_metric") == "custom_metric"
+
+
+def test_alias_targets_follow_prometheus_conventions():
+    for old, new in METRIC_ALIASES.items():
+        assert old != new
+        assert new == new.lower()
+        # Unit or counter suffix per Prometheus naming conventions.
+        assert new.rsplit("_", 1)[-1] in {
+            "cores", "bytes", "second", "total", "use", "done",
+        }, new
+
+
+def test_gauge_written_old_name_readable_new_name(registry):
+    registry.set_gauge("node_gpu_in_use", 3.0, labels={"node": "n0"})
+    ts_new = registry.series("node_gpus_in_use", labels={"node": "n0"})
+    ts_old = registry.series("node_gpu_in_use", labels={"node": "n0"})
+    assert ts_new is ts_old
+    assert ts_new.name == "node_gpus_in_use"
+    _, values = ts_new.as_arrays()
+    assert values[-1] == 3.0
+
+
+def test_counter_resolves_under_both_names(registry):
+    registry.inc_counter("step1_files_downloaded", amount=5.0)
+    registry.inc_counter("step1_downloaded_files_total", amount=2.0)
+    assert registry.counter_total("step1_downloaded_files_total") == 7.0
+    assert registry.counter_total("step1_files_downloaded") == 7.0
+
+
+def test_all_series_merges_alias_and_canonical_writes(registry):
+    registry.set_gauge("ceph_bytes_used", 1.0)
+    registry.set_gauge("ceph_used_bytes", 2.0)
+    series = registry.all_series("ceph_bytes_used")
+    assert len(series) == 1
+    assert series == registry.all_series("ceph_used_bytes")

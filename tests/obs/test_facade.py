@@ -1,0 +1,91 @@
+"""The repro.obs facade and the deprecation shims behind it."""
+
+import importlib
+import warnings
+
+import pytest
+
+import repro.obs
+import repro.obs.metrics
+import repro.obs.reports
+import repro.obs.tracing
+
+
+def test_facade_exports_all_three_sides():
+    # metrics side
+    assert repro.obs.MetricRegistry is repro.obs.metrics.MetricRegistry
+    assert repro.obs.Sampler is repro.obs.metrics.Sampler
+    # tracing side
+    assert repro.obs.Tracer is repro.obs.tracing.Tracer
+    assert repro.obs.analyze_run is repro.obs.tracing.analyze_run
+    # reports side
+    assert repro.obs.WorkflowReport is repro.obs.reports.WorkflowReport
+    assert repro.obs.WorkflowCheckpoint is repro.obs.reports.WorkflowCheckpoint
+    for name in repro.obs.__all__:
+        assert hasattr(repro.obs, name), name
+
+
+def test_facade_matches_implementations():
+    from repro.monitoring.metrics import MetricRegistry
+    from repro.tracing import Tracer
+    from repro.workflow.driver import WorkflowReport
+
+    assert repro.obs.MetricRegistry is MetricRegistry
+    assert repro.obs.Tracer is Tracer
+    assert repro.obs.WorkflowReport is WorkflowReport
+
+
+def test_facade_imports_are_warning_free():
+    with warnings.catch_warnings():
+        warnings.simplefilter("error", DeprecationWarning)
+        importlib.reload(repro.obs.metrics)
+        importlib.reload(repro.obs.tracing)
+        importlib.reload(repro.obs.reports)
+
+
+def test_old_monitoring_package_path_warns():
+    import repro.monitoring
+
+    with pytest.warns(DeprecationWarning, match="repro.obs.metrics"):
+        registry_cls = repro.monitoring.MetricRegistry
+    assert registry_cls is repro.obs.MetricRegistry
+    with pytest.warns(DeprecationWarning):
+        from repro.monitoring import Dashboard  # noqa: F401
+
+
+def test_old_monitoring_names_all_resolve():
+    import repro.monitoring
+
+    with pytest.warns(DeprecationWarning):
+        for name in repro.monitoring.__all__:
+            assert getattr(repro.monitoring, name) is not None
+
+
+def test_monitoring_submodule_imports_stay_silent():
+    with warnings.catch_warnings():
+        warnings.simplefilter("error", DeprecationWarning)
+        from repro.monitoring.grafana import Dashboard  # noqa: F401
+        from repro.monitoring.metrics import MetricRegistry  # noqa: F401
+        import repro.monitoring.promql  # noqa: F401
+
+
+def test_old_ml_metrics_path_warns():
+    import repro.ml.metrics as old
+
+    with pytest.warns(DeprecationWarning, match="segmetrics"):
+        scores_cls = old.SegmentationScores
+    from repro.ml.segmetrics import SegmentationScores
+
+    assert scores_cls is SegmentationScores
+    assert repro.obs.SegmentationScores is SegmentationScores
+
+
+def test_unknown_attribute_still_raises():
+    import repro.monitoring
+
+    with pytest.raises(AttributeError):
+        repro.monitoring.does_not_exist
+    import repro.ml.metrics as old
+
+    with pytest.raises(AttributeError):
+        old.does_not_exist

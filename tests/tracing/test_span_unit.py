@@ -1,0 +1,124 @@
+"""Unit tests for the span/tracer core: tree invariants, scopes, errors."""
+
+import pytest
+
+from repro.tracing import Span, Tracer, validate_spans
+
+
+@pytest.fixture
+def tracer():
+    return Tracer.counting(step=1.0)
+
+
+def test_span_tree_shape_and_ids(tracer):
+    root = tracer.start_root("run", "workflow")
+    a = tracer.start("a", "step", parent=root)
+    b = tracer.start("b", "compute", parent=a)
+    tracer.finish(b)
+    tracer.finish(a)
+    tracer.finish_root(root)
+
+    spans = tracer.finished_spans()
+    assert [s.name for s in spans] == ["run", "a", "b"]  # creation order
+    assert len({s.span_id for s in spans}) == 3
+    assert validate_spans(spans) == []
+
+    by_name = {s.name: s for s in spans}
+    assert by_name["a"].parent_id == by_name["run"].span_id
+    assert by_name["b"].parent_id == by_name["a"].span_id
+    assert by_name["run"].parent_id is None
+
+
+def test_child_contained_in_parent(tracer):
+    root = tracer.start_root("run", "workflow")
+    child = tracer.start("c", "compute", parent=root)
+    tracer.finish(child)
+    tracer.finish_root(root)
+    spans = tracer.finished_spans()
+    by_name = {s.name: s for s in spans}
+    assert by_name["run"].start <= by_name["c"].start
+    assert by_name["c"].end <= by_name["run"].end
+
+
+def test_default_parent_is_bound_root(tracer):
+    root = tracer.start_root("run", "workflow")
+    orphanless = tracer.start("x", "compute")
+    tracer.finish(orphanless)
+    tracer.finish_root(root)
+    spans = {s.name: s for s in tracer.finished_spans()}
+    assert spans["x"].parent_id == spans["run"].span_id
+
+
+def test_scope_binding_parents_by_namespace(tracer):
+    root = tracer.start_root("run", "workflow")
+    step = tracer.start("download", "step", parent=root)
+    tracer.bind_scope("ns-download", step)
+    pod = tracer.start("pod-1", "queueing",
+                       parent=tracer.scope_parent("ns-download"))
+    other = tracer.start("pod-2", "queueing",
+                         parent=tracer.scope_parent("ns-unknown"))
+    for s in (pod, other, step):
+        tracer.finish(s)
+    tracer.unbind_scope("ns-download")
+    tracer.finish_root(root)
+    spans = {s.name: s for s in tracer.finished_spans()}
+    assert spans["pod-1"].parent_id == spans["download"].span_id
+    # Unknown namespaces fall back to the root span.
+    assert spans["pod-2"].parent_id == spans["run"].span_id
+
+
+def test_context_manager_records_error_status(tracer):
+    root = tracer.start_root("run", "workflow")
+    with pytest.raises(ValueError):
+        with tracer.span("boom", "compute", parent=root):
+            raise ValueError("nope")
+    tracer.finish_root(root)
+    spans = {s.name: s for s in tracer.finished_spans()}
+    assert spans["boom"].status == "error"
+    assert spans["run"].status == "ok"
+
+
+def test_finish_root_sweeps_unfinished_spans(tracer):
+    root = tracer.start_root("run", "workflow")
+    dangling = tracer.start("dangling", "compute", parent=root)
+    assert dangling.duration == 0.0  # unfinished spans report zero
+    tracer.finish_root(root)
+    spans = {s.name: s for s in tracer.finished_spans()}
+    assert spans["dangling"].status == "unfinished"
+    assert spans["dangling"].end == spans["run"].end
+    assert validate_spans(tracer.finished_spans()) == []
+
+
+def test_finish_is_idempotent(tracer):
+    root = tracer.start_root("run", "workflow")
+    s = tracer.start("once", "compute", parent=root)
+    tracer.finish(s)
+    first_end = s.end
+    tracer.finish(s)
+    assert s.end == first_end
+    tracer.finish_root(root)
+    assert [x.name for x in tracer.finished_spans()].count("once") == 1
+
+
+def test_validate_spans_flags_orphans_and_overflow():
+    a = Span(name="root", category="workflow", span_id=1,
+             parent_id=None, start=0.0, end=10.0)
+    orphan = Span(name="lost", category="compute", span_id=2,
+                  parent_id=99, start=1.0, end=2.0)
+    overflow = Span(name="late", category="compute", span_id=3,
+                    parent_id=1, start=5.0, end=15.0)
+    problems = validate_spans([a, orphan, overflow])
+    assert any("orphan" in p for p in problems)
+    assert any("#3" in p for p in problems)
+    assert validate_spans([a]) == []
+
+
+def test_to_dict_round_trips_schema(tracer):
+    root = tracer.start_root("run", "workflow", attributes={"workflow": "w"})
+    tracer.finish_root(root)
+    d = root.to_dict()
+    assert d["name"] == "run"
+    assert d["category"] == "workflow"
+    assert d["parent_id"] is None
+    assert d["attributes"] == {"workflow": "w"}
+    assert d["end"] >= d["start"]

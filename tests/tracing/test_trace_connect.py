@@ -1,0 +1,164 @@
+"""End-to-end tracing tests on a small traced CONNECT run.
+
+One tiny workflow run (module-scoped) feeds every test here: span-tree
+invariants, critical-path attribution, the Chrome exporter, and the
+span→metrics bridge.
+"""
+
+import json
+
+import pytest
+
+from repro.monitoring.metrics import MetricRegistry
+from repro.testbed import build_nautilus_testbed
+from repro.tracing import (
+    LAYER_CATEGORIES,
+    analyze_run,
+    spans_to_metrics,
+    to_chrome_trace,
+    validate_spans,
+    validate_trace,
+    write_chrome_trace,
+)
+from repro.workflow import WorkflowDriver, build_connect_workflow
+
+
+@pytest.fixture(scope="module")
+def traced_run():
+    testbed = build_nautilus_testbed(seed=7, scale=0.001)
+    workflow = build_connect_workflow(
+        testbed, n_workers=3, n_gpus=4, real_ml=False
+    )
+    report = WorkflowDriver(testbed).run(workflow)
+    assert report.succeeded
+    return testbed, workflow, report
+
+
+def _spans(traced_run):
+    return traced_run[0].tracer.finished_spans()
+
+
+def test_span_tree_is_valid(traced_run):
+    spans = _spans(traced_run)
+    assert spans, "traced run produced no spans"
+    assert validate_spans(spans) == []
+
+
+def test_root_span_matches_report(traced_run):
+    testbed, workflow, report = traced_run
+    roots = [s for s in _spans(traced_run) if s.parent_id is None]
+    assert len(roots) == 1
+    (root,) = roots
+    assert root.category == "workflow"
+    assert root.name == workflow.name
+    assert root.status == "ok"
+    assert root.duration == pytest.approx(report.total_duration_s, rel=1e-9)
+
+
+def test_step_spans_mirror_report_steps(traced_run):
+    testbed, workflow, report = traced_run
+    spans = _spans(traced_run)
+    (root,) = [s for s in spans if s.parent_id is None]
+    steps = [s for s in spans if s.category == "step"]
+    assert {s.name for s in steps} == {r.name for r in report.steps}
+    for s in steps:
+        assert s.parent_id == root.span_id
+        assert s.status == "ok"
+        assert s.attributes["step"] == s.name
+        step_report = report.step(s.name)
+        assert s.duration == pytest.approx(
+            step_report.end_time - step_report.start_time, rel=1e-9
+        )
+
+
+def test_every_layer_is_represented(traced_run):
+    categories = {s.category for s in _spans(traced_run)}
+    # All four attribution layers plus the structural categories show up
+    # in a full CONNECT run.
+    for layer in LAYER_CATEGORIES:
+        assert layer in categories, f"no {layer!r} spans in traced run"
+    assert {"workflow", "step", "running"} <= categories
+
+
+def test_transfer_spans_carry_bytes_and_rate(traced_run):
+    transfers = [
+        s for s in _spans(traced_run)
+        if s.category == "transfer" and s.status == "ok"
+    ]
+    assert transfers
+    for s in transfers:
+        assert s.attributes.get("bytes", 0) >= 0
+        if s.duration > 0 and "rate_Bps" in s.attributes:
+            assert s.attributes["rate_Bps"] == pytest.approx(
+                s.attributes["bytes"] / s.duration, rel=1e-6
+            )
+
+
+def test_critical_path_attribution_sums_to_total(traced_run):
+    testbed, workflow, report = traced_run
+    analysis = analyze_run(_spans(traced_run))
+    assert analysis.workflow == workflow.name
+    assert analysis.total_s == pytest.approx(report.total_duration_s, rel=1e-9)
+    # Acceptance: per-layer attribution sums to the run total within 1%
+    # (the interval sweep makes it exact, so assert much tighter).
+    assert sum(analysis.layers.values()) == pytest.approx(
+        analysis.total_s, rel=1e-6
+    )
+    assert 0.0 < analysis.critical_path_s <= analysis.total_s + 1e-9
+    # The CONNECT DAG is a chain, so the critical chain is all four steps.
+    assert [name for name, _ in analysis.chain] == [
+        "download", "training", "inference", "visualization"
+    ]
+    rendered = analysis.render()
+    assert "critical" in rendered.lower()
+    for layer in LAYER_CATEGORIES:
+        assert layer in rendered
+
+
+def test_chrome_trace_exports_and_validates(traced_run, tmp_path):
+    spans = _spans(traced_run)
+    data = to_chrome_trace(spans)
+    assert validate_trace(data) == []
+    complete = [e for e in data["traceEvents"] if e["ph"] == "X"]
+    assert len(complete) == len(spans)
+    meta = [e for e in data["traceEvents"] if e["ph"] == "M"]
+    assert meta, "expected thread_name metadata events"
+    # Timestamps are in microseconds of simulated time.
+    by_id = {e["args"]["span_id"]: e for e in complete}
+    for s in spans:
+        event = by_id[s.span_id]
+        assert event["ts"] == pytest.approx(s.start * 1e6)
+        assert event["dur"] == pytest.approx(s.duration * 1e6)
+
+    path = write_chrome_trace(spans, tmp_path / "trace.json")
+    loaded = json.loads(path.read_text())
+    assert validate_trace(loaded) == []
+
+
+def test_spans_to_metrics_bridges_into_registry(traced_run):
+    testbed, workflow, report = traced_run
+    registry = MetricRegistry(testbed.env)
+    spans_to_metrics(_spans(traced_run), registry, workflow=workflow.name)
+    duration_series = registry.all_series("span_duration_seconds")
+    assert duration_series
+    labels = {dict(ts.labels).get("category") for ts in duration_series}
+    assert "step" in labels and "workflow" in labels
+    total = registry.counter_sum("spans_total")
+    assert total == pytest.approx(float(len(_spans(traced_run))))
+
+
+def test_deadline_killed_step_closes_spans_as_error():
+    """A step killed by its timeout must not leave dangling spans."""
+    testbed = build_nautilus_testbed(seed=7, scale=0.0005)
+    workflow = build_connect_workflow(
+        testbed, n_workers=2, n_gpus=2, real_ml=False
+    )
+    workflow.steps["download"].timeout_s = 1.0  # impossibly tight
+    report = WorkflowDriver(testbed).run(workflow)
+    assert not report.succeeded
+    spans = testbed.tracer.finished_spans()
+    assert validate_spans(spans) == []
+    by_name = {s.name: s for s in spans}
+    assert by_name["download"].status == "error"
+    (root,) = [s for s in spans if s.parent_id is None]
+    assert root.status == "error"

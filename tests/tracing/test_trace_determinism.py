@@ -1,0 +1,83 @@
+"""Trace determinism: same inputs → same trace, across compute engines.
+
+The batched wavefront engine is a performance path; it must be
+observationally identical to the serial reference — including in the
+trace it emits (engine shows up only as a span attribute).
+"""
+
+import numpy as np
+import pytest
+
+from repro.ml.ffn import FFNConfig, FFNModel
+from repro.ml.inference import segment_volume
+from repro.tracing import Tracer, validate_spans
+
+
+def _make_model():
+    return FFNModel(FFNConfig(fov=(5, 5, 5), filters=6, modules=1, seed=3))
+
+
+def _make_volume():
+    rng = np.random.default_rng(11)
+    volume = rng.random((12, 16, 16)).astype(np.float32)
+    volume[4:8, 4:10, 4:10] += 2.0
+    return volume
+
+
+def _traced_segment(engine: str):
+    tracer = Tracer.counting(step=1.0)
+    root = tracer.start_root("seg", "workflow")
+    labels = segment_volume(
+        _make_model(), _make_volume(), engine=engine,
+        tracer=tracer, span_parent=root,
+    )
+    tracer.finish_root(root)
+    return labels, tracer.finished_spans()
+
+
+def _signature(spans):
+    """Everything about a trace except ids/times and the engine attr."""
+    return [
+        (
+            s.name,
+            s.category,
+            s.status,
+            tuple(sorted(
+                (k, repr(v)) for k, v in s.attributes.items()
+                if k != "engine"
+            )),
+        )
+        for s in spans
+    ]
+
+
+def test_serial_and_batched_traces_identical():
+    labels_serial, spans_serial = _traced_segment("serial")
+    labels_batched, spans_batched = _traced_segment("batched")
+    np.testing.assert_array_equal(labels_serial, labels_batched)
+    assert validate_spans(spans_serial) == []
+    assert validate_spans(spans_batched) == []
+    assert _signature(spans_serial) == _signature(spans_batched)
+    # The only allowed difference: the engine attribute itself.
+    engines = {
+        s.attributes["engine"]
+        for spans in (spans_serial, spans_batched)
+        for s in spans
+        if "engine" in s.attributes
+    }
+    assert engines == {"serial", "batched"}
+
+
+def test_same_engine_trace_is_reproducible():
+    _, first = _traced_segment("batched")
+    _, second = _traced_segment("batched")
+    assert [s.to_dict() for s in first] == [s.to_dict() for s in second]
+
+
+def test_counting_clock_orders_spans():
+    _, spans = _traced_segment("serial")
+    starts = [s.start for s in spans]
+    assert starts == sorted(starts)  # creation order == time order
+    segment = [s for s in spans if s.name == "segment_volume"]
+    assert len(segment) == 1
+    assert segment[0].attributes["objects"] >= 1
