@@ -281,6 +281,48 @@ def check_service_selector(view: ClusterSpecView) -> _t.Iterator[Finding]:
         )
 
 
+@rule(
+    "SPEC008",
+    "missing-priority-class",
+    pack="spec",
+    severity=Severity.WARNING,
+    description="Pod declares no priority class while the deployment "
+                "uses priorities elsewhere",
+)
+def check_missing_priority(view: ClusterSpecView) -> _t.Iterator[Finding]:
+    """Flag unprioritized pods *once the deployment opted into priorities*.
+
+    A cluster where nothing declares a priority is fine — every pod is
+    implicitly best-effort and the scheduler treats them uniformly, so
+    legacy fixtures stay silent.  But as soon as one spec carries a
+    priority class (or a nonzero numeric priority), unclassed pods
+    silently become universal preemption victims; each one deserves an
+    explicit decision (or a baseline entry grandfathering it).
+    """
+    pods = view.all_pods()
+    if not any(pod.has_priority for pod in pods):
+        return
+    seen: set[tuple] = set()
+    for pod in pods:
+        key = (pod.kind, pod.namespace, pod.name)
+        if key in seen or pod.has_priority:
+            seen.add(key)
+            continue
+        seen.add(key)
+        yield Finding(
+            code="SPEC008",
+            severity=Severity.WARNING,
+            message=(
+                f"pod {pod.name!r} has no priority class but this "
+                "deployment uses priorities; it will be preempted before "
+                "every classed pod"
+            ),
+            location=_loc(view, pod.kind, pod.name, pod.namespace),
+            suggestion="set priority_class (best-effort/batch/normal/"
+                       "high/system) to make the preemption order explicit",
+        )
+
+
 def run_spec_rules(
     view: ClusterSpecView, rules: _t.Iterable | None = None
 ) -> "list[Finding]":

@@ -74,6 +74,11 @@ class PodView:
     has_liveness: bool = False
     #: "Pod", "Job", "ReplicaSet", "DaemonSet" — what declared this spec
     kind: str = "Pod"
+    #: named PriorityClass, when declared ("" otherwise)
+    priority_class: str = ""
+    #: spec carries an explicit priority (a class name or a nonzero
+    #: numeric priority) — the fleet-wide signal SPEC008 keys on
+    has_priority: bool = False
 
     def matches(self, selector: _t.Mapping[str, str]) -> bool:
         return all(self.labels.get(k) == v for k, v in selector.items())
@@ -195,6 +200,7 @@ def pod_view_from_spec(
     has_requests = any(
         c.resources.cpu > 0 or c.resources.memory > 0 for c in spec.containers
     )
+    priority_class = str(getattr(spec, "priority_class", "") or "")
     return PodView(
         name=name,
         namespace=namespace,
@@ -206,6 +212,9 @@ def pod_view_from_spec(
         long_running=long_running,
         has_liveness=getattr(spec, "liveness", None) is not None,
         kind=kind,
+        priority_class=priority_class,
+        has_priority=bool(priority_class)
+        or int(getattr(spec, "priority", 0) or 0) != 0,
     )
 
 
@@ -333,6 +342,7 @@ def _fixture_pod(raw: dict, default_ns: str = "default") -> PodView:
     cpu = parse_cpu(raw.get("cpu", 0))
     memory = float(parse_memory(raw.get("memory", 0)))
     explicit = "has_requests" in raw
+    priority_class = str(raw.get("priority_class", "") or "")
     return PodView(
         name=raw["name"],
         namespace=raw.get("namespace", default_ns),
@@ -346,6 +356,8 @@ def _fixture_pod(raw: dict, default_ns: str = "default") -> PodView:
         long_running=bool(raw.get("long_running", False)),
         has_liveness=bool(raw.get("liveness", False)),
         kind=raw.get("kind", "Pod"),
+        priority_class=priority_class,
+        has_priority=bool(priority_class) or int(raw.get("priority", 0)) != 0,
     )
 
 

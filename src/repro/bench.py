@@ -280,6 +280,56 @@ def _bench_distributed(world: dict, repeat: int, max_workers: int) -> BenchRecor
     )
 
 
+def _bench_loadtest(smoke: bool, seed: int) -> BenchRecord:
+    """The control-plane overload drill as a determinism benchmark.
+
+    Runs the multi-tenant loadtest twice on the same seed: the two
+    checksums (over every workflow's structured outcome) must match, so
+    a scheduler/gateway change that silently reorders or drops work
+    fails the ``outputs_identical`` gate.  ``meta`` carries the
+    scheduler throughput and p50/p99 scheduling-latency-per-class
+    numbers into the BENCH_*.json trajectory.
+    """
+    from repro.loadgen import LoadgenConfig, run_loadtest
+
+    if smoke:
+        cfg = LoadgenConfig(n_tenants=8, workflows_per_tenant=2)
+    else:
+        cfg = LoadgenConfig(n_tenants=50, workflows_per_tenant=4)
+    cfg.seed = seed
+
+    t0 = time.perf_counter()
+    first = run_loadtest(cfg)
+    t_first = time.perf_counter() - t0
+    t0 = time.perf_counter()
+    second = run_loadtest(cfg)
+    t_second = time.perf_counter() - t0
+
+    return BenchRecord(
+        name="control_plane_loadtest",
+        baseline="overload drill, run 1",
+        optimized="overload drill, run 2 (same seed)",
+        baseline_seconds=t_first,
+        optimized_seconds=t_second,
+        checksum_baseline=first.checksum()[:16],
+        checksum_optimized=second.checksum()[:16],
+        meta={
+            "tenants": cfg.n_tenants,
+            "workflows_per_tenant": cfg.workflows_per_tenant,
+            "counts": first.counts,
+            "lost": first.lost,
+            "hung": first.hung,
+            "scheduler_throughput_pods_per_s": round(
+                first.scheduler_throughput, 4
+            ),
+            "latency_by_class": first.latency_by_class,
+            "preemptions": first.preemptions,
+            "peak_queue_depth": first.peak_queue_depth,
+            "makespan_s": round(first.makespan_s, 1),
+        },
+    )
+
+
 def run_benchmarks(
     smoke: bool = False,
     repeat: int = 2,
@@ -295,6 +345,7 @@ def run_benchmarks(
         _bench_flood_fill(world, repeat),
         _bench_segment(world, repeat),
         _bench_distributed(world, repeat, max_workers),
+        _bench_loadtest(smoke, seed),
     ]
 
 

@@ -22,6 +22,11 @@ Commands
     Run the CONNECT workflow with tracing on, export a Chrome
     trace-event JSON (loadable at chrome://tracing or ui.perfetto.dev),
     and print the critical-path report plus an ASCII flame summary.
+``loadtest``
+    Multi-tenant overload drill: tens of simulated tenants submit
+    CONNECT-derived workflows through the admission gateway while the
+    chaos monkey degrades the infrastructure.  Exits nonzero if any
+    workflow is lost (no structured outcome) or hung at the horizon.
 ``version``
     Print the package version.
 """
@@ -155,6 +160,27 @@ def build_parser() -> argparse.ArgumentParser:
         "--flame-width", type=int, default=48,
         help="timeline width of the ASCII flame summary",
     )
+
+    p_load = sub.add_parser(
+        "loadtest", help="multi-tenant overload drill through the gateway"
+    )
+    p_load.add_argument("--seed", type=int, default=42, help="root seed")
+    p_load.add_argument("--tenants", type=int, default=50,
+                        help="simulated tenants")
+    p_load.add_argument("--workflows", type=int, default=4,
+                        help="workflows per tenant")
+    p_load.add_argument("--fiona8", type=int, default=4,
+                        help="GPU nodes in the testbed (small = overload)")
+    p_load.add_argument("--fanout", type=int, default=4,
+                        help="inference shards per workflow")
+    p_load.add_argument("--no-chaos", action="store_true",
+                        help="disable fault injection")
+    p_load.add_argument("--no-degradation", action="store_true",
+                        help="disable graceful degradation policies")
+    p_load.add_argument("--horizon", type=float, default=4 * 3600.0,
+                        help="sim-time ceiling in seconds")
+    p_load.add_argument("--out", default=None, metavar="FILE",
+                        help="write the full metrics report JSON here")
 
     sub.add_parser("version", help="print the package version")
     return parser
@@ -360,6 +386,64 @@ def _cmd_trace(args: argparse.Namespace) -> int:
     return 0 if report.succeeded else 1
 
 
+def _cmd_loadtest(args: argparse.Namespace) -> int:
+    import json
+
+    from repro.loadgen import LoadgenConfig, run_loadtest
+
+    cfg = LoadgenConfig(
+        n_tenants=args.tenants,
+        workflows_per_tenant=args.workflows,
+        seed=args.seed,
+        n_fiona8=args.fiona8,
+        inference_fanout=args.fanout,
+        chaos=not args.no_chaos,
+        degradation=not args.no_degradation,
+        horizon_s=args.horizon,
+    )
+    print(
+        f"Overload drill: {cfg.n_tenants} tenants x "
+        f"{cfg.workflows_per_tenant} workflows on {cfg.n_fiona8} GPU nodes "
+        f"(chaos={'on' if cfg.chaos else 'off'}, seed={cfg.seed})..."
+    )
+    with warnings.catch_warnings():
+        warnings.simplefilter("ignore")
+        report = run_loadtest(cfg)
+
+    counts = report.counts
+    print()
+    print(f"workflows : {cfg.expected_workflows()} submitted over "
+          f"{report.makespan_s / 60:.0f} sim-minutes")
+    print(f"outcomes  : {counts['completed']} completed, "
+          f"{counts['shed']} shed, {counts['rejected']} rejected, "
+          f"{counts['failed']} failed")
+    print(f"invariant : lost={report.lost} hung={report.hung}")
+    print(f"scheduler : {report.scheduler_throughput:.2f} binds/s, "
+          f"{report.preemptions:.0f} preemptions, "
+          f"peak queue depth {report.peak_queue_depth:.0f}")
+    for cls, pct in report.latency_by_class.items():
+        print(f"latency   : {cls:>6} p50={pct['p50']:.1f}s "
+              f"p99={pct['p99']:.1f}s (n={pct['count']})")
+    degr = report.degradation_summary
+    if degr:
+        print(f"degraded  : {len(degr.get('dropped_steps', []))} optional "
+              f"steps dropped, {len(degr.get('coarsened_fanouts', []))} "
+              f"fan-outs coarsened")
+    print(f"chaos     : {report.chaos_failures} faults injected")
+
+    if args.out:
+        with open(args.out, "w", encoding="utf-8") as fh:
+            json.dump(report.to_dict(), fh, indent=2)
+        print(f"\nwrote {args.out}")
+
+    if report.lost or report.hung:
+        print(f"ERROR: {report.lost} workflow(s) lost, {report.hung} "
+              "tenant process(es) hung — the control plane dropped work "
+              "without a structured outcome", file=sys.stderr)
+        return 1
+    return 0
+
+
 def main(argv: _t.Sequence[str] | None = None) -> int:
     """Entry point; returns a process exit code."""
     args = build_parser().parse_args(argv)
@@ -378,4 +462,6 @@ def main(argv: _t.Sequence[str] | None = None) -> int:
         return _cmd_bench(args)
     if args.command == "trace":
         return _cmd_trace(args)
+    if args.command == "loadtest":
+        return _cmd_loadtest(args)
     raise AssertionError(f"unhandled command {args.command!r}")  # pragma: no cover

@@ -26,7 +26,16 @@ those semantics from scratch on the :mod:`repro.sim` kernel:
 from repro.cluster.quantity import Quantity, parse_cpu, parse_memory, format_memory
 from repro.cluster.objects import ObjectMeta, ResourceRequirements, ClusterEvent
 from repro.cluster.node import Node, NodeSpec, fiona_node_spec, fiona8_node_spec
-from repro.cluster.pod import Pod, PodSpec, ContainerSpec, PodPhase, RestartPolicy, LivenessProbe
+from repro.cluster.pod import (
+    Pod,
+    PodSpec,
+    ContainerSpec,
+    PodPhase,
+    RestartPolicy,
+    LivenessProbe,
+    PRIORITY_CLASSES,
+    priority_class_name,
+)
 from repro.cluster.namespace import Namespace, ResourceQuota
 from repro.cluster.scheduler import Scheduler, SchedulingStrategy
 from repro.cluster.controllers import (
@@ -58,6 +67,8 @@ __all__ = [
     "ContainerSpec",
     "PodPhase",
     "RestartPolicy",
+    "PRIORITY_CLASSES",
+    "priority_class_name",
     "Namespace",
     "ResourceQuota",
     "Scheduler",

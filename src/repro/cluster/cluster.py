@@ -84,7 +84,14 @@ class Cluster:
         self.daemonsets: dict[tuple[str, str], DaemonSet] = {}
         self.services: dict[tuple[str, str], Service] = {}
         self.events: list[ClusterEvent] = []
+        # Incremental scheduling queue: pods land in the *active* list
+        # and are tried once; failures park in the *unschedulable* list,
+        # which is only re-activated when cluster state changes (node
+        # joined/recovered/uncordoned, capacity freed) — so creating pod
+        # N+1 doesn't rescan N parked pods.
         self._pending: list[Pod] = []
+        self._unschedulable: list[Pod] = []
+        self._requeue_pending = False
         self._kick_scheduled = False
         #: hooks called as (pod, old_phase, new_phase) on every transition
         self.phase_hooks: list[_t.Callable[[Pod, PodPhase, PodPhase], None]] = []
@@ -180,7 +187,7 @@ class Cluster:
         self.nodes[spec.name] = node
         self.record_event("Node", spec.name, "NodeJoined", f"site={spec.site}")
         self._reconcile_all()  # daemonsets cover the new node immediately
-        self._kick_scheduler()
+        self._kick_scheduler(state_changed=True)
         return node
 
     def get_node(self, name: str) -> Node:
@@ -203,7 +210,7 @@ class Cluster:
         for pod in list(node.pods.values()):
             self._terminate_pod(pod, PodPhase.FAILED, reason="NodeLost")
         self._reconcile_all()
-        self._kick_scheduler()
+        self._kick_scheduler(state_changed=True)
 
     def cordon(self, name: str) -> None:
         """Mark a node unschedulable; running pods are untouched."""
@@ -220,7 +227,7 @@ class Cluster:
             return
         node.unschedulable = False
         self.record_event("Node", name, "Uncordoned", "")
-        self._kick_scheduler()
+        self._kick_scheduler(state_changed=True)
 
     def drain(self, name: str) -> None:
         """Cordon a node and evict its pods for maintenance.
@@ -234,7 +241,7 @@ class Cluster:
         for pod in list(node.pods.values()):
             self._terminate_pod(pod, PodPhase.FAILED, reason="Drained")
         self._reconcile_all()
-        self._kick_scheduler()
+        self._kick_scheduler(state_changed=True)
 
     def recover_node(self, name: str) -> None:
         """Bring a failed node back."""
@@ -244,7 +251,7 @@ class Cluster:
         node.ready = True
         self.record_event("Node", name, "NodeReady", "node rejoined the cluster")
         self._reconcile_all()
-        self._kick_scheduler()
+        self._kick_scheduler(state_changed=True)
 
     def enable_node_leases(
         self,
@@ -408,11 +415,13 @@ class Cluster:
         name: str,
         quota: ResourceQuota | None = None,
         administrator: str = "",
+        weight: float = 1.0,
     ) -> Namespace:
-        """Create a virtual cluster (§IV)."""
+        """Create a virtual cluster (§IV).  ``weight`` is the namespace's
+        fair-share weight in the scheduler's queue ordering."""
         if name in self.namespaces:
             raise ConflictError(f"namespace {name!r} already exists")
-        ns = Namespace(name, quota=quota, administrator=administrator)
+        ns = Namespace(name, quota=quota, administrator=administrator, weight=weight)
         self.namespaces[name] = ns
         self.record_event("Namespace", name, "Created", f"admin={administrator}")
         return ns
@@ -501,6 +510,9 @@ class Cluster:
             # allocation is released.)
             if pod in self._pending:
                 self._pending.remove(pod)
+            if pod in self._unschedulable:
+                self._unschedulable.remove(pod)
+            pod.termination_reason = "Deleted"
             self._set_phase(pod, PodPhase.FAILED)
             pod.finish_time = self.env.now
             self.get_namespace(pod.meta.namespace).release(pod.spec.total_request())
@@ -650,8 +662,16 @@ class Cluster:
 
     # ---------------------------------------------------------------- scheduling
 
-    def _kick_scheduler(self) -> None:
-        """Arrange for a scheduling pass at the current sim time (coalesced)."""
+    def _kick_scheduler(self, state_changed: bool = False) -> None:
+        """Arrange for a scheduling pass at the current sim time (coalesced).
+
+        ``state_changed`` marks kicks caused by capacity/topology changes
+        (node joined/recovered/uncordoned, pod finished): those re-activate
+        the parked unschedulable set.  Pod-creation kicks leave the parked
+        set alone — only the new arrivals are tried.
+        """
+        if state_changed:
+            self._requeue_pending = True
         if self._kick_scheduled:
             return
         self._kick_scheduled = True
@@ -661,12 +681,22 @@ class Cluster:
 
     def _scheduling_pass(self, _event: object = None) -> None:
         self._kick_scheduled = False
-        still_pending: list[Pod] = []
-        # Highest priority first (stable), so freed/preempted capacity goes
-        # to the pods that preemption was performed for.
-        queue = sorted(
-            self._pending, key=lambda p: -p.spec.priority
+        if self._requeue_pending and self._unschedulable:
+            self._pending.extend(self._unschedulable)
+            self._unschedulable.clear()
+        self._requeue_pending = False
+        if not self._pending:
+            return
+        # Priority tiers first (so freed/preempted capacity goes to the
+        # pods preemption was performed for), weighted fair-share across
+        # namespaces within a tier.
+        queue = self.scheduler.order_queue(
+            self._pending,
+            usage={name: ns.used for name, ns in self.namespaces.items()},
+            capacity=self.total_capacity(),
+            weights={name: ns.weight for name, ns in self.namespaces.items()},
         )
+        self._pending = []
         for pod in queue:
             if pod.is_terminal:  # deleted while queued
                 continue
@@ -686,15 +716,20 @@ class Cluster:
                                 f"by {pod.meta.name} on {target.spec.name}",
                                 namespace=victim.meta.namespace,
                             )
+                            self._count(
+                                "scheduler_preemptions_total",
+                                {"namespace": victim.meta.namespace},
+                            )
                             self._terminate_pod(
                                 victim, PodPhase.FAILED, reason="Preempted"
                             )
                         # The pod stays pending; victim teardown re-kicks
                         # the scheduler once their resources free up.
-                still_pending.append(pod)
+                self._unschedulable.append(pod)
                 continue
             node.allocate(pod)
             pod.node_name = node.spec.name
+            self._record_bind(pod)
             self._pod_span_open(pod, "scheduling", node=node.spec.name)
             self.record_event(
                 "Pod",
@@ -706,11 +741,27 @@ class Cluster:
             pod._process = self.env.process(
                 self._run_pod(pod, node), name=f"kubelet:{pod.meta.name}"
             )
-        self._pending = still_pending
+        if self.metrics is not None:
+            self.metrics.set_gauge(
+                "scheduler_pending_pods",
+                len(self._pending) + len(self._unschedulable),
+            )
+
+    def _record_bind(self, pod: Pod) -> None:
+        """Scheduler throughput/latency instrumentation for one bind."""
+        if self.metrics is None:
+            return
+        label = {"class": pod.spec.priority_class_label()}
+        self.metrics.inc_counter("scheduler_binds_total", 1.0, label)
+        self.metrics.set_gauge(
+            "scheduler_bind_latency_seconds",
+            self.env.now - pod.meta.creation_time,
+            label,
+        )
 
     def pending_pods(self) -> list[Pod]:
         """Pods awaiting scheduling (the 'Pending, unschedulable' set)."""
-        return list(self._pending)
+        return list(self._pending) + list(self._unschedulable)
 
     # ------------------------------------------------------------------ kubelet
 
@@ -840,6 +891,7 @@ class Cluster:
     def _finish_pod(
         self, pod: Pod, node: Node, phase: PodPhase, reason: str = ""
     ) -> None:
+        pod.termination_reason = reason
         self._set_phase(pod, phase)
         pod.finish_time = self.env.now
         node.release(pod)
@@ -852,7 +904,7 @@ class Cluster:
             namespace=pod.meta.namespace,
         )
         self._reconcile_all()
-        self._kick_scheduler()
+        self._kick_scheduler(state_changed=True)
 
     def _terminate_pod(self, pod: Pod, phase: PodPhase, reason: str) -> None:
         """Forcibly stop a scheduled/running pod (deletion, node loss)."""
@@ -877,5 +929,6 @@ class Cluster:
         running = len(self.list_pods(phase=PodPhase.RUNNING))
         return (
             f"<Cluster {self.name}: {len(self.nodes)} nodes, "
-            f"{running} running pods, {len(self._pending)} pending>"
+            f"{running} running pods, "
+            f"{len(self._pending) + len(self._unschedulable)} pending>"
         )

@@ -45,9 +45,17 @@ class Namespace:
         name: str,
         quota: ResourceQuota | None = None,
         administrator: str = "",
+        weight: float = 1.0,
     ):
+        if weight <= 0:
+            raise ValueError(f"namespace weight must be positive, got {weight}")
         self.name = name
         self.quota = quota or ResourceQuota()
+        #: Fair-share weight: the scheduler orders pending pods so each
+        #: namespace's dominant-resource share converges toward its
+        #: weight's fraction of the contended pool (weight 2 earns twice
+        #: the share of weight 1 before waiting behind it).
+        self.weight = weight
         #: The PI granted the "namespace administrator" role (§IV).
         self.administrator = administrator
         #: CILogon-authenticated identities admitted by the administrator.

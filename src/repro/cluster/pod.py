@@ -29,7 +29,31 @@ __all__ = [
     "PodSpec",
     "Pod",
     "PodContext",
+    "PRIORITY_CLASSES",
+    "priority_class_name",
 ]
+
+#: Named priority classes, mirroring Kubernetes PriorityClass objects.
+#: ``best-effort`` maps to 0, which by the preemption contract never
+#: evicts anything; everything above it may preempt strictly-lower
+#: priorities when unschedulable.
+PRIORITY_CLASSES: dict[str, int] = {
+    "best-effort": 0,
+    "batch": 10,
+    "normal": 100,
+    "high": 1000,
+    "system": 10000,
+}
+
+#: Reverse map for metric labels / reports (value -> first name).
+_CLASS_BY_PRIORITY: dict[int, str] = {}
+for _name, _value in PRIORITY_CLASSES.items():
+    _CLASS_BY_PRIORITY.setdefault(_value, _name)
+
+
+def priority_class_name(priority: int) -> str:
+    """The class name for a numeric priority (``p<N>`` when unnamed)."""
+    return _CLASS_BY_PRIORITY.get(priority, f"p{priority}")
 
 
 class PodPhase(enum.Enum):
@@ -105,7 +129,12 @@ class PodSpec:
 
     ``priority`` follows the Kubernetes PriorityClass model: when a
     higher-priority pod is unschedulable, the scheduler may preempt
-    (evict) lower-priority pods to make room.
+    (evict) lower-priority pods to make room.  ``priority_class`` names
+    one of :data:`PRIORITY_CLASSES`; when set (and ``priority`` is left
+    at its default 0) the numeric priority resolves from the class, so
+    workloads can speak in class names while the scheduler keeps
+    comparing integers.  An explicit nonzero ``priority`` wins over the
+    class resolution.
     """
 
     containers: list[ContainerSpec]
@@ -115,6 +144,7 @@ class PodSpec:
     volumes: dict[str, object] = dataclasses.field(default_factory=dict)
     params: dict[str, object] = dataclasses.field(default_factory=dict)
     priority: int = 0
+    priority_class: str = ""
     liveness: LivenessProbe | None = None
 
     def __post_init__(self) -> None:
@@ -123,6 +153,22 @@ class PodSpec:
         names = [c.name for c in self.containers]
         if len(set(names)) != len(names):
             raise ValidationError(f"duplicate container names: {names}")
+        if self.priority_class:
+            if self.priority_class not in PRIORITY_CLASSES:
+                raise ValidationError(
+                    f"unknown priority class {self.priority_class!r} "
+                    f"(known: {sorted(PRIORITY_CLASSES)})"
+                )
+            if self.priority == 0:
+                self.priority = PRIORITY_CLASSES[self.priority_class]
+
+    def priority_class_label(self) -> str:
+        """The class name this spec schedules as (for metrics/reports)."""
+        if self.priority_class and (
+            PRIORITY_CLASSES[self.priority_class] == self.priority
+        ):
+            return self.priority_class
+        return priority_class_name(self.priority)
 
     def total_request(self) -> ResourceRequirements:
         """Sum of all containers' requests (what the scheduler reserves)."""
@@ -146,6 +192,9 @@ class Pod:
         self.restart_count = 0
         self.result: object = None
         self.failure: BaseException | None = None
+        #: why the pod reached a terminal phase ("Preempted", "NodeLost",
+        #: "Deleted", ... — empty for a normal completion)
+        self.termination_reason: str = ""
         self.owner_uid: str | None = None  # controller (Job/ReplicaSet) uid
         self.last_heartbeat: float = 0.0
         self._process: "Process | None" = None

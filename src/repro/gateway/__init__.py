@@ -1,0 +1,36 @@
+"""Multi-tenant admission gateway for the cluster control plane.
+
+The overload-survival front door described in ROADMAP item 1: per-tenant
+token-bucket rate limits (:class:`TokenBucket`), bounded admission
+queues with explicit backpressure, synchronous spec lint, resource
+quotas, scheduling-timeout shedding, and per-tenant circuit breakers
+(:class:`CircuitBreaker`).  See :class:`AdmissionGateway` for the full
+story.
+"""
+
+from repro.gateway.breaker import BreakerState, CircuitBreaker
+from repro.gateway.gateway import (
+    ADMITTED,
+    QUEUED,
+    REJECTED,
+    SHED,
+    AdmissionDecision,
+    AdmissionGateway,
+    GatewayConfig,
+    TenantPolicy,
+)
+from repro.gateway.ratelimit import TokenBucket
+
+__all__ = [
+    "AdmissionGateway",
+    "AdmissionDecision",
+    "GatewayConfig",
+    "TenantPolicy",
+    "TokenBucket",
+    "CircuitBreaker",
+    "BreakerState",
+    "ADMITTED",
+    "QUEUED",
+    "REJECTED",
+    "SHED",
+]

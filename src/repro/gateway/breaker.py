@@ -1,0 +1,117 @@
+"""Per-tenant circuit breakers for the admission gateway.
+
+A breaker watches one tenant's admission/scheduling outcomes.  After
+``failure_threshold`` consecutive failures it *opens*: the gateway sheds
+that tenant's traffic immediately (no lint, no queueing) until
+``cooldown_s`` of virtual time has passed.  The first submission after
+the cooldown is admitted as a *probe* (half-open state); if the probe
+reaches Running the breaker closes, if it fails the breaker re-opens for
+another cooldown.  State transitions are computed lazily from the sim
+clock — no timer process.
+"""
+
+from __future__ import annotations
+
+import enum
+import typing as _t
+
+if _t.TYPE_CHECKING:  # pragma: no cover
+    from repro.sim import Environment
+
+__all__ = ["BreakerState", "CircuitBreaker"]
+
+
+class BreakerState(enum.Enum):
+    CLOSED = "closed"  # normal operation
+    OPEN = "open"  # shedding: reject everything until cooldown passes
+    HALF_OPEN = "half-open"  # one probe in flight decides the next state
+
+
+class CircuitBreaker:
+    """Consecutive-failure circuit breaker on virtual time."""
+
+    def __init__(
+        self,
+        env: "Environment",
+        failure_threshold: int = 5,
+        cooldown_s: float = 60.0,
+    ):
+        if failure_threshold < 1:
+            raise ValueError("failure_threshold must be >= 1")
+        if cooldown_s <= 0:
+            raise ValueError("cooldown_s must be positive")
+        self.env = env
+        self.failure_threshold = int(failure_threshold)
+        self.cooldown_s = float(cooldown_s)
+        self._state = BreakerState.CLOSED
+        self._consecutive_failures = 0
+        self._opened_at: float | None = None
+        self._probe_in_flight = False
+        #: lifetime counters for reports
+        self.times_opened = 0
+
+    @property
+    def state(self) -> BreakerState:
+        """Current state, promoting OPEN -> HALF_OPEN after the cooldown."""
+        if (
+            self._state is BreakerState.OPEN
+            and self._opened_at is not None
+            and self.env.now - self._opened_at >= self.cooldown_s
+        ):
+            self._state = BreakerState.HALF_OPEN
+            self._probe_in_flight = False
+        return self._state
+
+    def allow(self) -> bool:
+        """May a submission pass right now?
+
+        CLOSED: always.  OPEN: never.  HALF_OPEN: exactly one probe —
+        the first caller after the cooldown gets through, the rest are
+        shed until the probe resolves.
+        """
+        state = self.state
+        if state is BreakerState.CLOSED:
+            return True
+        if state is BreakerState.OPEN:
+            return False
+        if self._probe_in_flight:
+            return False
+        self._probe_in_flight = True
+        return True
+
+    def retry_after(self) -> float:
+        """Seconds until the breaker will next let a probe through."""
+        if self.state is not BreakerState.OPEN or self._opened_at is None:
+            return 0.0
+        return max(0.0, self._opened_at + self.cooldown_s - self.env.now)
+
+    def record_success(self) -> None:
+        """A submission succeeded (pod reached Running): close the breaker."""
+        self._consecutive_failures = 0
+        self._probe_in_flight = False
+        self._state = BreakerState.CLOSED
+        self._opened_at = None
+
+    def record_failure(self) -> None:
+        """A submission failed (lint/quota reject or scheduling-timeout
+        shed); trips the breaker at the threshold, re-opens a half-open
+        breaker whose probe failed."""
+        state = self.state
+        self._consecutive_failures += 1
+        if state is BreakerState.HALF_OPEN or (
+            self._consecutive_failures >= self.failure_threshold
+        ):
+            self._trip()
+
+    def _trip(self) -> None:
+        if self._state is not BreakerState.OPEN:
+            self.times_opened += 1
+        self._state = BreakerState.OPEN
+        self._opened_at = self.env.now
+        self._probe_in_flight = False
+
+    def __repr__(self) -> str:  # pragma: no cover
+        return (
+            f"<CircuitBreaker {self.state.value} "
+            f"failures={self._consecutive_failures}/{self.failure_threshold}>"
+        )

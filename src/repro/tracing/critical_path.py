@@ -124,6 +124,24 @@ def critical_chain(step_spans: _t.Sequence[Span]) -> list[tuple[str, float]]:
     return best[1]
 
 
+def _effective_end(spans: _t.Sequence[Span], root: Span) -> float:
+    """The analysis window's right edge.
+
+    A finished root ends the window itself.  An *unfinished* root — a
+    run whose pods were preempted or evicted before the driver could
+    close it — still has a well-defined observation horizon: the latest
+    finished timestamp anywhere in the trace.  Using that (never before
+    ``root.start``) keeps the layer partition exact on partial traces.
+    """
+    if root.end is not None:
+        return root.end
+    latest = root.start
+    for span in spans:
+        if span.end is not None and span.end > latest:
+            latest = span.end
+    return latest
+
+
 def attribute_layers(
     spans: _t.Sequence[Span], root: Span
 ) -> dict[str, float]:
@@ -135,21 +153,29 @@ def attribute_layers(
     one layer (compute wins over transfer wins over scheduling wins over
     queueing) — so a transfer happening *inside* GPU time is not double
     counted.  Root time nothing claims is ``orchestration``.  The
-    returned totals sum to the root duration.
+    returned totals sum to the root window (the root duration when the
+    root is finished; see :func:`_effective_end` otherwise).
+
+    Error-status spans participate like any other: a preempted pod's
+    queueing/scheduling time is real time the run spent, and dropping it
+    would break the partition invariant.  Spans that are unfinished or
+    malformed (``end < start`` — possible in externally-loaded traces)
+    are skipped; they claim no interval.
     """
-    if root.end is None:
-        raise ValueError("root span must be finished to attribute layers")
+    root_end = _effective_end(spans, root)
     intervals: list[tuple[float, float, str]] = []
     for span in spans:
         if span.category not in LAYER_CATEGORIES or span.end is None:
             continue
+        if span.end < span.start:
+            continue
         lo = max(span.start, root.start)
-        hi = min(span.end, root.end)
+        hi = min(span.end, root_end)
         if hi > lo:
             intervals.append((lo, hi, span.category))
 
     points = sorted(
-        {root.start, root.end}
+        {root.start, root_end}
         | {lo for lo, _hi, _c in intervals}
         | {hi for _lo, hi, _c in intervals}
     )
@@ -177,16 +203,23 @@ def analyze_run(
     """Build the :class:`CriticalPathReport` for one workflow run.
 
     ``trace`` is a tracer or a span list; ``root`` defaults to the last
-    finished ``workflow``-category span (the most recent run).
+    finished ``workflow``-category span (the most recent run), falling
+    back to the last *unfinished* one — a run whose pods were preempted
+    or evicted can leave the root open, and its partial trace is still
+    analyzable over the observed window.
     """
     spans = list(trace.spans) if isinstance(trace, Tracer) else list(trace)
     if root is None:
-        roots = [
+        finished = [
             s for s in spans if s.category == "workflow" and s.end is not None
         ]
-        if not roots:
-            raise ValueError("no finished workflow root span in trace")
-        root = roots[-1]
+        if finished:
+            root = finished[-1]
+        else:
+            candidates = [s for s in spans if s.category == "workflow"]
+            if not candidates:
+                raise ValueError("no workflow root span in trace")
+            root = candidates[-1]
     step_spans = [
         s
         for s in spans
@@ -194,7 +227,7 @@ def analyze_run(
     ]
     return CriticalPathReport(
         workflow=str(root.attributes.get("workflow", root.name)),
-        total_s=root.duration,
+        total_s=_effective_end(spans, root) - root.start,
         chain=critical_chain(step_spans),
         layers=attribute_layers(spans, root),
     )

@@ -245,10 +245,16 @@ def retry_call(
                 if policy is not None
                 else 0.0
             )
+            if deadline_at is not None:
+                remaining = deadline_at - env.now
+                if remaining <= 0:
+                    raise TransferError(
+                        f"retry deadline exhausted after {attempt + 1} attempts"
+                    ) from exc
+                # Cap the drawn sleep by the remaining deadline budget:
+                # a jittered draw that overshoots would otherwise forfeit
+                # the final attempt the deadline still has room for.
+                delay = min(delay, remaining)
             prev_delay = delay
-            if deadline_at is not None and env.now + delay >= deadline_at:
-                raise TransferError(
-                    f"retry deadline exhausted after {attempt + 1} attempts"
-                ) from exc
             yield env.timeout(delay)
     raise TransferError("unreachable")  # pragma: no cover

@@ -22,6 +22,7 @@ execution bottlenecks" (§VIII).  This package is that layer:
 """
 
 from repro.workflow.step import StepContext, StepReport, WorkflowStep
+from repro.workflow.degradation import DegradationPolicy
 from repro.workflow.workflow import Workflow
 from repro.workflow.driver import WorkflowDriver, WorkflowReport
 from repro.workflow.connect_steps import (
@@ -49,6 +50,7 @@ __all__ = [
     "WorkflowStep",
     "StepContext",
     "StepReport",
+    "DegradationPolicy",
     "Workflow",
     "WorkflowDriver",
     "WorkflowReport",

@@ -1,0 +1,100 @@
+"""Graceful degradation: trade result richness for survival under load.
+
+When the cluster is saturated, finishing the essential work late beats
+finishing all the work never.  A :class:`DegradationPolicy` turns a
+saturation signal (typically the admission gateway's
+:meth:`~repro.gateway.AdmissionGateway.saturated`, or a cluster
+pending-queue threshold) into two concrete behaviours:
+
+- **Drop optional steps** — workflow steps constructed with
+  ``optional=True`` (visualization, report rendering, non-essential
+  post-processing) are *skipped* instead of executed; their reports
+  carry ``skipped=True`` and count as succeeded so downstream steps
+  still run.
+- **Coarser shard fan-out** — steps that fan work out over N shards ask
+  :meth:`effective_fanout` first; under saturation the fan-out shrinks
+  by ``fanout_factor`` (never below ``min_fanout``), so each workflow
+  holds fewer concurrent pods while the queue drains.
+
+The policy records everything it dropped or coarsened, so a loadtest
+report can state exactly what degradation cost.
+"""
+
+from __future__ import annotations
+
+import math
+import typing as _t
+
+__all__ = ["DegradationPolicy"]
+
+
+class DegradationPolicy:
+    """Decide what to shed when the control plane reports saturation.
+
+    Parameters
+    ----------
+    saturation:
+        Zero-arg callable returning truthy while the cluster is
+        saturated.  Evaluated at each decision point, so the policy
+        reacts as load rises and falls.
+    drop_optional:
+        Skip steps marked ``optional=True`` while saturated.
+    fanout_factor:
+        Multiplier applied to requested shard fan-outs while saturated
+        (0.5 = half as many shards).
+    min_fanout:
+        Floor for a coarsened fan-out.
+    """
+
+    def __init__(
+        self,
+        saturation: _t.Callable[[], bool],
+        drop_optional: bool = True,
+        fanout_factor: float = 0.5,
+        min_fanout: int = 1,
+    ):
+        if not 0.0 < fanout_factor <= 1.0:
+            raise ValueError("fanout_factor must be in (0, 1]")
+        if min_fanout < 1:
+            raise ValueError("min_fanout must be >= 1")
+        self._saturation = saturation
+        self.drop_optional = drop_optional
+        self.fanout_factor = float(fanout_factor)
+        self.min_fanout = int(min_fanout)
+        #: names of optional steps skipped under saturation
+        self.dropped_steps: list[str] = []
+        #: (step name, requested, granted) fan-outs that were coarsened
+        self.coarsened_fanouts: list[tuple[str, int, int]] = []
+
+    def saturated(self) -> bool:
+        return bool(self._saturation())
+
+    def should_skip(self, step: object) -> bool:
+        """Skip this step right now?  (Only ever true for optional steps.)"""
+        return (
+            self.drop_optional
+            and bool(getattr(step, "optional", False))
+            and self.saturated()
+        )
+
+    def note_skip(self, step_name: str) -> None:
+        self.dropped_steps.append(step_name)
+
+    def effective_fanout(self, requested: int, step_name: str = "") -> int:
+        """The shard fan-out to actually use for ``requested`` shards."""
+        if requested <= self.min_fanout or not self.saturated():
+            return requested
+        granted = max(self.min_fanout, math.ceil(requested * self.fanout_factor))
+        if granted < requested:
+            self.coarsened_fanouts.append((step_name, requested, granted))
+        return granted
+
+    def summary(self) -> dict:
+        """JSON-safe account of what degradation cost this run."""
+        return {
+            "dropped_steps": list(self.dropped_steps),
+            "coarsened_fanouts": [
+                {"step": s, "requested": r, "granted": g}
+                for s, r, g in self.coarsened_fanouts
+            ],
+        }

@@ -74,6 +74,7 @@ class StepReport:
     error: str = ""
     retries: int = 0  # step-level re-executions that were needed
     resumed: bool = False  # restored from a checkpoint, not re-executed
+    skipped: bool = False  # optional step dropped under saturation
     artifacts: dict[str, object] = dataclasses.field(default_factory=dict)
 
     @property
@@ -106,6 +107,7 @@ class StepReport:
             "error": self.error,
             "retries": self.retries,
             "resumed": self.resumed,
+            "skipped": self.skipped,
             "artifacts": sanitize_artifact_value(self.artifacts),
         }
 
@@ -125,6 +127,7 @@ class StepReport:
         step.error = raw["error"]
         step.retries = raw.get("retries", 0)
         step.resumed = raw.get("resumed", False)
+        step.skipped = raw.get("skipped", False)
         step.artifacts = dict(raw["artifacts"])
         return step
 
@@ -155,6 +158,7 @@ class StepContext:
         report: StepReport,
         namespace: str,
         span: "Span | None" = None,
+        degradation: object | None = None,
     ):
         self.testbed = testbed
         self.params = params
@@ -163,6 +167,17 @@ class StepContext:
         self.namespace = namespace
         #: this step's trace span (None when the run is untraced)
         self.span = span
+        #: the run's :class:`~repro.workflow.degradation.
+        #: DegradationPolicy`, or None when degradation is off
+        self.degradation = degradation
+
+    def effective_fanout(self, requested: int) -> int:
+        """Shard fan-out after graceful degradation (identity when off)."""
+        if self.degradation is None:
+            return int(requested)
+        return self.degradation.effective_fanout(  # type: ignore[attr-defined]
+            int(requested), self.report.name
+        )
 
     @property
     def env(self):
@@ -235,6 +250,7 @@ class WorkflowStep:
         max_retries: int = 0,
         retry_delay_s: float = 30.0,
         timeout_s: float | None = None,
+        optional: bool = False,
     ):
         if not name:
             raise ValidationError("step needs a non-empty name")
@@ -255,6 +271,10 @@ class WorkflowStep:
         #: ``timeout_s`` sim-seconds is killed and counts as a failure
         #: (so it retries under ``max_retries`` like any crash).
         self.timeout_s = timeout_s
+        #: optional steps may be dropped (skipped, not failed) when a
+        #: :class:`~repro.workflow.degradation.DegradationPolicy` reports
+        #: the cluster saturated — graceful degradation over queueing.
+        self.optional = optional
         #: names of steps whose artifacts this step consumes
         self.depends_on: list[str] = []
 

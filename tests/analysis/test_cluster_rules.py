@@ -1,4 +1,4 @@
-"""Spec pack (SPEC001–SPEC007) over fixtures, live clusters, admission."""
+"""Spec pack (SPEC001–SPEC008) over fixtures, live clusters, admission."""
 
 from __future__ import annotations
 
@@ -160,6 +160,58 @@ def test_spec007_matched_selector_is_clean():
     assert "SPEC007" not in codes_of(run_spec_rules(view))
 
 
+# ---------------------------------------------------------------- SPEC008
+
+
+def test_spec008_silent_when_nothing_declares_priority():
+    view = ClusterSpecView(nodes=(FIONA8,), pods=(_pod("a"), _pod("b")))
+    assert "SPEC008" not in codes_of(run_spec_rules(view))
+
+
+def test_spec008_flags_unclassed_pods_once_priorities_exist():
+    view = ClusterSpecView(
+        nodes=(FIONA8,),
+        pods=(
+            _pod("classed", priority_class="high", has_priority=True),
+            _pod("legacy"),
+        ),
+    )
+    findings = [f for f in run_spec_rules(view) if f.code == "SPEC008"]
+    assert len(findings) == 1
+    assert findings[0].severity is Severity.WARNING
+    assert "legacy" in findings[0].message
+
+
+def test_spec008_numeric_priority_counts_as_classed():
+    view = ClusterSpecView(
+        nodes=(FIONA8,),
+        pods=(_pod("numeric", has_priority=True), _pod("legacy")),
+    )
+    findings = [f for f in run_spec_rules(view) if f.code == "SPEC008"]
+    assert [f.location.name for f in findings] == ["legacy"]
+
+
+def test_spec008_fixture_and_baseline_grandfather(monkeypatch, capsys):
+    """The shipped mixed-priority fixture trips SPEC008; the shipped
+    baseline entry grandfathers the legacy pod."""
+    from repro.cli import main
+
+    repo = pathlib.Path(__file__).resolve().parents[2]
+    monkeypatch.chdir(repo)
+    fixture = "tests/analysis/fixtures/mixed_priority.json"
+    baseline = "tests/analysis/fixtures/spec008_baseline.json"
+
+    code = main(["lint", "--strict", fixture])
+    out = capsys.readouterr().out
+    assert code == 1
+    assert "SPEC008" in out and "legacy-batch" in out
+
+    code = main(["lint", "--strict", "--baseline", baseline, fixture])
+    out = capsys.readouterr().out
+    assert code == 0
+    assert "SPEC008" not in out
+
+
 # ----------------------------------------------------------- live adapter
 
 
@@ -273,5 +325,5 @@ def test_testbed_admission_lint_param():
 
 def test_registry_spec_pack_complete():
     assert registry.codes(pack="spec") == [
-        f"SPEC00{i}" for i in range(1, 8)
+        f"SPEC00{i}" for i in range(1, 9)
     ]

@@ -28,6 +28,7 @@ class TestBenchRecords:
             "flood_fill_wavefront",
             "segment_volume_wavefront",
             "distributed_fanout",
+            "control_plane_loadtest",
         ]
 
     def test_outputs_identical_across_paths(self, smoke_records):

@@ -1,0 +1,177 @@
+"""Critical-path analysis must survive preempted/evicted pod spans.
+
+Preemption closes a pod's lifecycle span with ``status="error"`` and —
+when the driver itself is torn down — can leave the workflow root span
+unfinished.  Neither may break :func:`analyze_run` or the per-layer
+time-partition invariant (layer totals sum exactly to the analysis
+window).
+"""
+
+import pytest
+
+from repro.cluster import (
+    ContainerSpec,
+    PodPhase,
+    PodSpec,
+    ResourceRequirements,
+)
+from repro.testbed import build_nautilus_testbed
+from repro.tracing import analyze_run, validate_spans
+from repro.tracing.span import Span
+from repro.workflow import WorkflowDriver, build_connect_workflow
+
+
+def _sleeper(duration):
+    def main(ctx):
+        yield ctx.env.timeout(duration)
+
+    return main
+
+
+@pytest.fixture(scope="module")
+def preempted_run():
+    """A CONNECT run whose pods get preempted mid-flight by a
+    high-priority flood sized to each node's full capacity."""
+    testbed = build_nautilus_testbed(seed=7, scale=0.001)
+    env, cluster = testbed.env, testbed.cluster
+    workflow = build_connect_workflow(
+        testbed, n_workers=3, n_gpus=4, real_ml=False
+    )
+
+    def bully():
+        while True:
+            running = [
+                p
+                for p in cluster.pods.values()
+                if p.phase is PodPhase.RUNNING
+            ]
+            if len(running) >= 2:
+                break
+            yield env.timeout(10.0)
+        yield env.timeout(50.0)
+        cluster.create_namespace("bully")
+        for i, node in enumerate(cluster.nodes.values()):
+            spec = PodSpec(
+                containers=[
+                    ContainerSpec(
+                        name="bully",
+                        image="bully:1",
+                        main=_sleeper(120.0),
+                        resources=ResourceRequirements(
+                            cpu=node.spec.cpu,
+                            memory=node.spec.memory,
+                            gpu=float(node.spec.gpus),
+                        ),
+                    )
+                ],
+                priority_class="high",
+            )
+            cluster.create_pod(f"bully-{i}", spec, namespace="bully")
+        yield env.timeout(0.0)
+
+    env.process(bully())
+    report = WorkflowDriver(testbed).run(workflow)
+    return testbed, workflow, report
+
+
+def test_preempted_pods_leave_error_spans(preempted_run):
+    testbed, _workflow, _report = preempted_run
+    preempted = [
+        p
+        for p in testbed.cluster.pods.values()
+        if p.termination_reason == "Preempted"
+    ]
+    assert preempted, "scenario failed to preempt any pod"
+    errors = [s for s in testbed.tracer.spans if s.status == "error"]
+    assert errors, "preemption should close lifecycle spans as errors"
+    assert validate_spans(testbed.tracer.finished_spans()) == []
+
+
+def test_partition_invariant_survives_preemption(preempted_run):
+    testbed, workflow, _report = preempted_run
+    analysis = analyze_run(testbed.tracer.spans)
+    assert analysis.workflow == workflow.name
+    # Exact partition: the error-status queueing/scheduling spans of the
+    # preempted pods still claim their intervals.
+    assert sum(analysis.layers.values()) == pytest.approx(
+        analysis.total_s, rel=1e-9
+    )
+    assert analysis.layers["scheduling"] > 0.0
+
+
+def test_analyze_run_tolerates_unfinished_root():
+    """An evicted run can leave the workflow root span open; analysis
+    falls back to the observed horizon instead of raising."""
+    spans = [
+        Span(
+            name="wf",
+            category="workflow",
+            span_id=1,
+            parent_id=None,
+            start=0.0,
+            end=None,
+            attributes={"workflow": "wf"},
+            status="unfinished",
+        ),
+        Span(
+            name="train",
+            category="step",
+            span_id=2,
+            parent_id=1,
+            start=0.0,
+            end=80.0,
+            attributes={"step": "train", "depends_on": []},
+            status="error",
+        ),
+        Span(
+            name="pod-q",
+            category="queueing",
+            span_id=3,
+            parent_id=2,
+            start=0.0,
+            end=10.0,
+            status="error",
+        ),
+        Span(
+            name="pod-s",
+            category="scheduling",
+            span_id=4,
+            parent_id=2,
+            start=10.0,
+            end=15.0,
+            status="error",
+        ),
+        Span(
+            name="pod-run",
+            category="compute",
+            span_id=5,
+            parent_id=2,
+            start=15.0,
+            end=100.0,
+            status="error",
+        ),
+        # Malformed span (end < start) — possible in externally-loaded
+        # traces; must be skipped, not poison the sweep.
+        Span(
+            name="bogus",
+            category="transfer",
+            span_id=6,
+            parent_id=2,
+            start=50.0,
+            end=40.0,
+            status="error",
+        ),
+    ]
+    analysis = analyze_run(spans)
+    # Window runs to the latest finished timestamp (the compute span).
+    assert analysis.total_s == pytest.approx(100.0)
+    assert sum(analysis.layers.values()) == pytest.approx(100.0)
+    assert analysis.layers["queueing"] == pytest.approx(10.0)
+    assert analysis.layers["scheduling"] == pytest.approx(5.0)
+    assert analysis.layers["compute"] == pytest.approx(85.0)
+    assert analysis.layers["transfer"] == pytest.approx(0.0)
+
+
+def test_analyze_run_without_workflow_span_still_raises():
+    with pytest.raises(ValueError):
+        analyze_run([])
