@@ -18,38 +18,68 @@ reproduction, exposed as ``python -m repro lint``.  Three rule packs:
   sanitizer, an AST pass flagging unseeded RNGs, stdlib ``random``,
   wall-clock reads and module-level mutable state in simulation code.
 
+The *deep* pass (``repro lint --deep``) adds three whole-program
+engines on top of a module-level call graph
+(:mod:`~repro.analysis.callgraph`):
+
+- interprocedural determinism taint (:mod:`~repro.analysis.taint`,
+  DET010+) — nondeterminism sources reported with the full call path
+  from simulation entry points, replacing the shallow path heuristic;
+- concurrency hazards (:mod:`~repro.analysis.concurrency_rules`,
+  CONC001+) — stale guards across yields, callback/process shared
+  writes, module-level state mutated from sim code;
+- cross-layer deployment lint (:mod:`~repro.analysis.deployment_rules`,
+  DEPLOY001+) — retry storms, priority starvation, quota/burst
+  infeasibility over the joined gateway + cluster + workflow view.
+
 Findings carry a rule code, severity, location and suggestion;
 :class:`Baseline` files grandfather accepted findings so the linter can
-gate CI (``--strict``) without stopping the world.
+gate CI (``--strict``) without stopping the world, and
+:mod:`~repro.analysis.sarif` renders reports as SARIF 2.1.0 for
+code-scanning UIs.
 """
 
 from repro.analysis.baseline import Baseline
+from repro.analysis.callgraph import CallGraph, build_call_graph
+from repro.analysis.concurrency_rules import run_concurrency_rules
+from repro.analysis.deployment_rules import run_deployment_rules
 from repro.analysis.determinism import is_sim_path, lint_python_paths, lint_source
 from repro.analysis.engine import LintEngine, LintReport, lint_cluster, lint_workflow
 from repro.analysis.findings import Finding, Location, Severity
 from repro.analysis.graph import find_cycle, format_cycle
 from repro.analysis.model import (
+    ClientRetryView,
     ClusterSpecView,
+    DeploymentView,
+    GatewayView,
     JobView,
     NamespaceView,
     NodeView,
     PodView,
     ServiceView,
     StepView,
+    TenantView,
     WorkflowView,
     cluster_view,
+    deployment_view_from_dict,
     pod_view_from_spec,
     spec_view_from_dict,
     workflow_view,
     workflow_views_from_dict,
 )
 from repro.analysis.registry import Rule, RuleRegistry, registry
+from repro.analysis.sarif import render_sarif, to_sarif, validate_sarif
+from repro.analysis.taint import run_taint_analysis
 from repro.analysis.workflow_rules import STRUCTURAL_DAG_CODES
 
 __all__ = [
     "Baseline",
+    "CallGraph",
+    "ClientRetryView",
     "ClusterSpecView",
+    "DeploymentView",
     "Finding",
+    "GatewayView",
     "JobView",
     "LintEngine",
     "LintReport",
@@ -63,8 +93,11 @@ __all__ = [
     "ServiceView",
     "Severity",
     "StepView",
+    "TenantView",
     "WorkflowView",
+    "build_call_graph",
     "cluster_view",
+    "deployment_view_from_dict",
     "find_cycle",
     "format_cycle",
     "is_sim_path",
@@ -74,7 +107,13 @@ __all__ = [
     "lint_workflow",
     "pod_view_from_spec",
     "registry",
+    "render_sarif",
+    "run_concurrency_rules",
+    "run_deployment_rules",
+    "run_taint_analysis",
     "spec_view_from_dict",
+    "to_sarif",
+    "validate_sarif",
     "workflow_view",
     "workflow_views_from_dict",
 ]

@@ -18,7 +18,10 @@ from repro.analysis.findings import Finding
 
 __all__ = ["Baseline"]
 
-_FORMAT_VERSION = 1
+#: Version 2 switched fingerprints to (rule code, file basename, enclosing
+#: qualname, normalized snippet) so baselines survive file moves and line
+#: drift; version-1 files must be regenerated with ``--update-baseline``.
+_FORMAT_VERSION = 2
 
 
 class Baseline:
@@ -35,12 +38,15 @@ class Baseline:
         return finding.fingerprint in self.entries
 
     def add(self, finding: Finding, justification: str = "") -> None:
-        self.entries[finding.fingerprint] = {
+        entry = {
             "code": finding.code,
             "location": str(finding.location),
             "message": finding.message,
             "justification": justification or "accepted when baseline was written",
         }
+        if finding.qualname:
+            entry["qualname"] = finding.qualname
+        self.entries[finding.fingerprint] = entry
 
     def split(
         self, findings: _t.Iterable[Finding]
@@ -64,6 +70,12 @@ class Baseline:
     @classmethod
     def from_dict(cls, data: dict) -> "Baseline":
         version = data.get("format_version")
+        if version == 1:
+            raise ValueError(
+                "unsupported baseline format version: 1 (the fingerprint "
+                "algorithm changed to survive file moves and line drift; "
+                "regenerate the file with repro lint --update-baseline)"
+            )
         if version != _FORMAT_VERSION:
             raise ValueError(f"unsupported baseline format version: {version!r}")
         baseline = cls()

@@ -11,7 +11,8 @@ single AST walk per source file:
 
 - ``DET001`` — unseeded ``np.random.default_rng()`` / ``RandomState()``.
 - ``DET002`` — stdlib ``random.*`` (process-global, unseedable per
-  stream) in simulation code paths.
+  stream) in simulation code paths.  Seeded helpers —
+  ``random.seed(...)`` and ``random.Random(seed)`` — are exempt.
 - ``DET003`` — wall-clock reads (``time.time``, ``datetime.now``...)
   in simulation code paths.
 - ``DET004`` — module-level mutable state in simulation modules (shared
@@ -21,19 +22,37 @@ single AST walk per source file:
 named ``chaos``: the kernel, the network model, and the fault
 injectors, where a stray wall-clock read silently corrupts virtual
 time.  Outside those paths DET002/DET003 downgrade to warnings and
-DET004 stays quiet.
+DET004 stays quiet.  The *deep* pass (``repro lint --deep``,
+:mod:`repro.analysis.taint`) replaces this path heuristic with the real
+call graph: DET002/DET003 hits inside functions re-emerge as
+DET010+ findings with the full call path when they are reachable from
+a simulation entry point, and stay quiet when they are not.
+
+Besides the shallow findings, the analyzer records *taint sources* for
+the interprocedural pass: wall-clock reads, global-RNG draws,
+environment reads (``os.environ`` / ``os.getenv``) and order-sensitive
+iteration (``for x in set(...)``, unsorted ``os.listdir``) — see
+:func:`collect_taint_sources`.
 """
 
 from __future__ import annotations
 
 import ast
+import dataclasses
 import pathlib
 import typing as _t
 
 from repro.analysis.findings import Finding, Location, Severity
 from repro.analysis.registry import rule
 
-__all__ = ["lint_source", "lint_python_paths", "is_sim_path"]
+__all__ = [
+    "lint_source",
+    "lint_python_paths",
+    "is_sim_path",
+    "collect_taint_sources",
+    "expand_python_paths",
+    "SourceHit",
+]
 
 #: path components that mark simulation-critical code
 _SIM_DIR_MARKERS = {"sim", "netsim"}
@@ -48,6 +67,16 @@ _MUTABLE_CONSTRUCTORS = {
     "list", "dict", "set", "defaultdict", "OrderedDict", "deque", "Counter",
 }
 
+#: stdlib ``random`` attributes that *seed* rather than draw — calling
+#: them is determinism hygiene, not a violation
+_RANDOM_SEEDING_ATTRS = {"seed", "getstate", "setstate"}
+
+#: filesystem/glob calls whose result order is OS-dependent
+_FS_ORDER_CALLS = {
+    "os.listdir", "os.scandir", "glob.glob", "glob.iglob",
+}
+_FS_ORDER_METHODS = {"iterdir", "glob", "rglob"}
+
 
 def is_sim_path(path: "str | pathlib.Path") -> bool:
     """True when the file lives on a simulation-critical code path."""
@@ -55,6 +84,34 @@ def is_sim_path(path: "str | pathlib.Path") -> bool:
     if _SIM_DIR_MARKERS & {part.lower() for part in p.parts[:-1]}:
         return True
     return any(marker in p.stem.lower() for marker in _SIM_FILE_MARKERS)
+
+
+def expand_python_paths(
+    paths: _t.Iterable["str | pathlib.Path"],
+) -> "list[pathlib.Path]":
+    """Expand files and directories into a sorted, de-duplicated list of
+    ``*.py`` files (the unit both the shallow and deep passes walk)."""
+    files: list[pathlib.Path] = []
+    seen: set[pathlib.Path] = set()
+    for raw in paths:
+        root = pathlib.Path(raw)
+        candidates = sorted(root.rglob("*.py")) if root.is_dir() else [root]
+        for file in candidates:
+            if file not in seen:
+                seen.add(file)
+                files.append(file)
+    return files
+
+
+@dataclasses.dataclass(frozen=True)
+class SourceHit:
+    """One raw analyzer hit, before severity/reporting policy."""
+
+    code: str  # DET001..DET004, or taint-only ENV / ORDER
+    line: int
+    detail: str
+    #: dotted in-module scope ("Cls.method"); "" at module level
+    qualname: str
 
 
 class _Analyzer(ast.NodeVisitor):
@@ -65,8 +122,18 @@ class _Analyzer(ast.NodeVisitor):
         self.module_aliases: dict[str, str] = {}
         #: local name -> canonical dotted origin ("random.randint", ...)
         self.name_origins: dict[str, str] = {}
-        self.hits: list[tuple[str, int, str]] = []  # (code, line, detail)
-        self._depth = 0
+        self.hits: list[SourceHit] = []
+        self._scope: list[str] = []
+
+    @property
+    def _depth(self) -> int:
+        return len(self._scope)
+
+    def _hit(self, code: str, line: int, detail: str) -> None:
+        self.hits.append(
+            SourceHit(code=code, line=line, detail=detail,
+                      qualname=".".join(self._scope))
+        )
 
     # -- imports ------------------------------------------------------------
 
@@ -114,6 +181,7 @@ class _Analyzer(ast.NodeVisitor):
             self._check_rng(node, dotted)
             self._check_stdlib_random(node, dotted)
             self._check_wall_clock(node, dotted)
+            self._check_env_read(node, dotted)
         self.generic_visit(node)
 
     def _check_rng(self, node: ast.Call, dotted: str) -> None:
@@ -124,19 +192,25 @@ class _Analyzer(ast.NodeVisitor):
             return
         if node.args or node.keywords:
             return  # seeded (or at least explicitly parameterized)
-        self.hits.append(("DET001", node.lineno, f"{leaf}() has no seed"))
+        self._hit("DET001", node.lineno, f"{leaf}() has no seed")
 
     def _check_stdlib_random(self, node: ast.Call, dotted: str) -> None:
-        if dotted.startswith("random."):
-            self.hits.append(("DET002", node.lineno, dotted))
+        if not dotted.startswith("random."):
+            return
+        leaf = dotted.rsplit(".", 1)[-1]
+        if leaf in _RANDOM_SEEDING_ATTRS:
+            return  # random.seed(...) is determinism hygiene, not a draw
+        if leaf == "Random" and (node.args or node.keywords):
+            return  # random.Random(seed): a seeded private stream
+        self._hit("DET002", node.lineno, dotted)
 
     def _check_wall_clock(self, node: ast.Call, dotted: str) -> None:
         parts = dotted.split(".")
         if parts[0] == "time" and parts[-1] in _WALL_CLOCK_TIME_ATTRS:
-            self.hits.append(("DET003", node.lineno, dotted))
+            self._hit("DET003", node.lineno, dotted)
             return
         if parts[0] == "datetime" and parts[-1] in _WALL_CLOCK_DATETIME_ATTRS:
-            self.hits.append(("DET003", node.lineno, dotted))
+            self._hit("DET003", node.lineno, dotted)
             return
         # `from datetime import datetime` -> datetime.now()
         origin = self.name_origins.get(parts[0], "")
@@ -145,7 +219,48 @@ class _Analyzer(ast.NodeVisitor):
             and len(parts) > 1
             and parts[-1] in _WALL_CLOCK_DATETIME_ATTRS
         ):
-            self.hits.append(("DET003", node.lineno, f"{origin}.{parts[-1]}"))
+            self._hit("DET003", node.lineno, f"{origin}.{parts[-1]}")
+
+    # -- taint-only sources ---------------------------------------------------
+
+    def _check_env_read(self, node: ast.Call, dotted: str) -> None:
+        if dotted in ("os.getenv", "os.environ.get"):
+            self._hit("ENV", node.lineno, dotted)
+
+    def visit_Subscript(self, node: ast.Subscript) -> None:
+        if self._canonical(node.value) == "os.environ":
+            self._hit("ENV", node.lineno, "os.environ[...]")
+        self.generic_visit(node)
+
+    def _iter_order_detail(self, expr: ast.expr) -> str:
+        """Classify an iterable expression as order-unstable, or ''."""
+        if isinstance(expr, ast.Set) or isinstance(expr, ast.SetComp):
+            return "set literal"
+        if isinstance(expr, ast.Call):
+            dotted = self._canonical(expr.func)
+            leaf = dotted.rsplit(".", 1)[-1]
+            if dotted == "set" or dotted.endswith(".set"):
+                return "set(...)"
+            if dotted in _FS_ORDER_CALLS:
+                return f"{dotted}(...)"
+            if leaf in _FS_ORDER_METHODS and dotted.startswith(
+                ("pathlib.", "Path.")
+            ):
+                return f"{dotted}(...)"
+        return ""
+
+    def _check_iteration(self, iter_expr: ast.expr, line: int) -> None:
+        detail = self._iter_order_detail(iter_expr)
+        if detail:
+            self._hit("ORDER", line, detail)
+
+    def visit_For(self, node: ast.For) -> None:
+        self._check_iteration(node.iter, node.lineno)
+        self.generic_visit(node)
+
+    def visit_comprehension(self, node: ast.comprehension) -> None:
+        self._check_iteration(node.iter, node.iter.lineno)
+        self.generic_visit(node)
 
     # -- module-level state ----------------------------------------------------
 
@@ -164,7 +279,7 @@ class _Analyzer(ast.NodeVisitor):
             callee = self._canonical(value.func).rsplit(".", 1)[-1]
             mutable = callee in _MUTABLE_CONSTRUCTORS
         if mutable:
-            self.hits.append(("DET004", target.lineno, name))
+            self._hit("DET004", target.lineno, name)
 
     def visit_Assign(self, node: ast.Assign) -> None:
         if self._depth == 0:
@@ -177,12 +292,12 @@ class _Analyzer(ast.NodeVisitor):
             self._flag_mutable(node.target, node.value)
         self.generic_visit(node)
 
-    # -- scope depth tracking ----------------------------------------------------
+    # -- scope tracking ----------------------------------------------------
 
     def _scoped(self, node: ast.AST) -> None:
-        self._depth += 1
+        self._scope.append(getattr(node, "name", "<lambda>"))
         self.generic_visit(node)
-        self._depth -= 1
+        self._scope.pop()
 
     visit_FunctionDef = _scoped
     visit_AsyncFunctionDef = _scoped
@@ -198,6 +313,8 @@ def _severity(code: str, sim: bool) -> "Severity | None":
         return Severity.ERROR if sim else Severity.WARNING
     if code == "DET004":
         return Severity.WARNING if sim else None
+    if code in ("ENV", "ORDER"):
+        return None  # taint-only sources: reported by the deep pass
     raise AssertionError(code)  # pragma: no cover
 
 
@@ -225,41 +342,91 @@ _MESSAGES = {
 }
 
 
+def _snippet_at(lines: "list[str]", line: int) -> str:
+    if 1 <= line <= len(lines):
+        return lines[line - 1].strip()
+    return ""
+
+
+def _analyze(source: str, path: "str | pathlib.Path"):
+    """Parse and walk one source text; returns (analyzer, error_finding)."""
+    try:
+        tree = ast.parse(source, filename=str(path))
+    except SyntaxError as exc:
+        return None, Finding(
+            code="DET000",
+            severity=Severity.ERROR,
+            message=f"source does not parse: {exc.msg}",
+            location=Location(path=str(path), line=exc.lineno or 0),
+            suggestion="fix the syntax error before linting",
+        )
+    analyzer = _Analyzer()
+    analyzer.visit(tree)
+    return analyzer, None
+
+
 def lint_source(
     source: str, path: "str | pathlib.Path" = "<string>"
 ) -> "list[Finding]":
     """Run the determinism pack over one Python source text."""
-    try:
-        tree = ast.parse(source, filename=str(path))
-    except SyntaxError as exc:
-        return [
-            Finding(
-                code="DET000",
-                severity=Severity.ERROR,
-                message=f"source does not parse: {exc.msg}",
-                location=Location(path=str(path), line=exc.lineno or 0),
-                suggestion="fix the syntax error before linting",
-            )
-        ]
-    analyzer = _Analyzer()
-    analyzer.visit(tree)
+    analyzer, error = _analyze(source, path)
+    if analyzer is None:
+        return [error]
     sim = is_sim_path(path)
+    lines = source.splitlines()
     findings: list[Finding] = []
-    for code, line, detail in analyzer.hits:
-        severity = _severity(code, sim)
+    for hit in analyzer.hits:
+        severity = _severity(hit.code, sim)
         if severity is None:
             continue
-        message, suggestion = _MESSAGES[code]
+        message, suggestion = _MESSAGES[hit.code]
         findings.append(
             Finding(
-                code=code,
+                code=hit.code,
                 severity=severity,
-                message=message.format(detail=detail),
-                location=Location(path=str(path), line=line),
+                message=message.format(detail=hit.detail),
+                location=Location(path=str(path), line=hit.line),
                 suggestion=suggestion,
+                qualname=hit.qualname,
+                snippet=_snippet_at(lines, hit.line),
             )
         )
     return findings
+
+
+#: maps raw analyzer hit codes to taint-source kinds for the deep pass
+_TAINT_KINDS = {
+    "DET002": "global-rng",
+    "DET003": "wall-clock",
+    "ENV": "env-read",
+    "ORDER": "unordered-iter",
+}
+
+
+def collect_taint_sources(
+    source: str, path: "str | pathlib.Path" = "<string>"
+) -> "list[tuple[str, str, int, str, str]]":
+    """Taint sources for :mod:`repro.analysis.taint`.
+
+    Returns ``(kind, detail, line, qualname, snippet)`` tuples, where
+    ``kind`` is one of ``wall-clock`` / ``global-rng`` / ``env-read`` /
+    ``unordered-iter`` and ``qualname`` is the dotted in-module scope
+    the source sits in ("" for module level).
+    """
+    analyzer, _error = _analyze(source, path)
+    if analyzer is None:
+        return []
+    lines = source.splitlines()
+    out = []
+    for hit in analyzer.hits:
+        kind = _TAINT_KINDS.get(hit.code)
+        if kind is None:
+            continue
+        out.append(
+            (kind, hit.detail, hit.line, hit.qualname,
+             _snippet_at(lines, hit.line))
+        )
+    return out
 
 
 def lint_python_paths(
@@ -267,11 +434,8 @@ def lint_python_paths(
 ) -> "list[Finding]":
     """Lint files and directories (recursing into ``*.py``)."""
     findings: list[Finding] = []
-    for raw in paths:
-        root = pathlib.Path(raw)
-        files = sorted(root.rglob("*.py")) if root.is_dir() else [root]
-        for file in files:
-            findings.extend(lint_source(file.read_text(), path=file))
+    for file in expand_python_paths(paths):
+        findings.extend(lint_source(file.read_text(), path=file))
     return findings
 
 

@@ -22,18 +22,24 @@ import pathlib
 import typing as _t
 
 from repro.analysis.baseline import Baseline
+from repro.analysis.callgraph import build_call_graph
 from repro.analysis.cluster_rules import run_spec_rules
+from repro.analysis.concurrency_rules import run_concurrency_rules
+from repro.analysis.deployment_rules import run_deployment_rules
 from repro.analysis.determinism import lint_python_paths
 from repro.analysis.findings import Finding, Severity, sort_findings
 from repro.analysis.model import (
     ClusterSpecView,
+    DeploymentView,
     WorkflowView,
     cluster_view,
+    deployment_view_from_dict,
     spec_view_from_dict,
     workflow_view,
     workflow_views_from_dict,
 )
 from repro.analysis.registry import registry
+from repro.analysis.taint import run_taint_analysis
 from repro.analysis.workflow_rules import run_dag_rules
 
 __all__ = ["LintEngine", "LintReport", "lint_workflow", "lint_cluster"]
@@ -78,6 +84,11 @@ class LintReport:
         lines.append(self.summary())
         return "\n".join(lines)
 
+    def render_sarif(self) -> str:
+        from repro.analysis.sarif import render_sarif
+
+        return render_sarif(self)
+
     def render_json(self) -> str:
         return json.dumps(
             {
@@ -106,6 +117,18 @@ class LintEngine:
         Codes to switch off (wins over ``select``).
     baseline:
         Previously-accepted findings to suppress.
+    deep:
+        Run the whole-program pass: interprocedural determinism taint
+        (DET010+), concurrency hazards (CONC), and — on JSON fixtures
+        declaring ``gateway``/``client`` sections and on explicit
+        deployment views — the cross-layer deploy pack.  In deep mode
+        the shallow DET002/DET003 findings on code *inside functions*
+        are dropped: the call graph decides reachability, so a seeded
+        test helper goes quiet and a genuinely sim-reachable draw
+        re-emerges as a DET01x error with its call path quoted.
+    entry_modules:
+        Override entry-point detection for the call graph (exact
+        dotted module names); mostly for fixtures and tests.
     """
 
     def __init__(
@@ -113,6 +136,8 @@ class LintEngine:
         select: _t.Collection[str] | None = None,
         disable: _t.Collection[str] | None = None,
         baseline: Baseline | None = None,
+        deep: bool = False,
+        entry_modules: _t.Collection[str] | None = None,
     ):
         # Validate codes eagerly so typos fail loudly.
         for code in list(select or []) + list(disable or []):
@@ -120,6 +145,8 @@ class LintEngine:
         self.select = set(select) if select is not None else None
         self.disable = set(disable or ())
         self.baseline = baseline
+        self.deep = deep
+        self.entry_modules = entry_modules
 
     def _active(self, code: str) -> bool:
         if code in self.disable:
@@ -139,6 +166,16 @@ class LintEngine:
 
     def run_det(self, paths: _t.Iterable["str | pathlib.Path"]) -> "list[Finding]":
         findings = lint_python_paths(paths)
+        if self.deep:
+            # The call graph owns reachability for code inside functions;
+            # the shallow path-prefix verdicts on DET002/DET003 are
+            # strictly worse there (module-level hits keep them: import-
+            # time code runs unconditionally).
+            findings = [
+                f
+                for f in findings
+                if f.code not in ("DET002", "DET003") or not f.qualname
+            ]
         # The det pack reports per-file, so enable/disable filters the
         # produced findings (DET000 = unparseable source, always kept).
         return [
@@ -146,6 +183,18 @@ class LintEngine:
             for f in findings
             if f.code == "DET000" or self._active(f.code)
         ]
+
+    def run_deploy(self, view: DeploymentView) -> "list[Finding]":
+        return run_deployment_rules(view, rules=self._rules("deploy"))
+
+    def run_deep(
+        self, paths: _t.Sequence["str | pathlib.Path"]
+    ) -> "list[Finding]":
+        """The whole-program pass: one call graph, taint + conc packs."""
+        graph = build_call_graph(paths, entry_modules=self.entry_modules)
+        findings = run_taint_analysis(paths, graph=graph)
+        findings += run_concurrency_rules(paths, graph=graph)
+        return [f for f in findings if self._active(f.code)]
 
     # -- whole-target runners -------------------------------------------------
 
@@ -167,10 +216,18 @@ class LintEngine:
                 )
                 for view in workflow_views_from_dict(data, source=str(path)):
                     report.merge(self.run_dag(view))
+                if self.deep and ("gateway" in data or "client" in data):
+                    report.merge(
+                        self.run_deploy(
+                            deployment_view_from_dict(data, source=str(path))
+                        )
+                    )
             else:
                 py_paths.append(path)
         if py_paths:
             report.merge(self.run_det(py_paths))
+            if self.deep:
+                report.merge(self.run_deep(py_paths))
         self._apply_baseline(report)
         return report
 
@@ -178,12 +235,15 @@ class LintEngine:
         self,
         cluster: ClusterSpecView | None = None,
         workflows: _t.Sequence[WorkflowView] = (),
+        deployment: "DeploymentView | None" = None,
     ) -> LintReport:
         report = LintReport()
         if cluster is not None:
             report.merge(self.run_spec(cluster))
         for view in workflows:
             report.merge(self.run_dag(view))
+        if deployment is not None:
+            report.merge(self.run_deploy(deployment))
         self._apply_baseline(report)
         return report
 

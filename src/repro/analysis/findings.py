@@ -16,7 +16,7 @@ import dataclasses
 import enum
 import hashlib
 
-__all__ = ["Severity", "Location", "Finding"]
+__all__ = ["Severity", "Location", "Finding", "normalize_snippet"]
 
 
 class Severity(enum.Enum):
@@ -61,6 +61,12 @@ class Location:
         return where
 
 
+def normalize_snippet(snippet: str) -> str:
+    """Collapse a source snippet to its whitespace-normalized form so
+    reformatting (indentation, line wrapping) does not change it."""
+    return " ".join(snippet.split())
+
+
 @dataclasses.dataclass(frozen=True)
 class Finding:
     """One rule violation."""
@@ -70,18 +76,46 @@ class Finding:
     message: str
     location: Location = dataclasses.field(default_factory=Location)
     suggestion: str = ""
+    #: dotted name of the enclosing function/method ("Cls.method"), when
+    #: the finding points into source code; anchors the fingerprint
+    qualname: str = ""
+    #: the offending source line(s), used for fingerprints and SARIF
+    snippet: str = ""
 
     @property
     def fingerprint(self) -> str:
         """Stable identity used by baseline suppression.
 
-        Deliberately excludes the line number: moving code around a file
-        must not invalidate a baselined suppression, but changing the
-        message (which names the offending object/call) does.
+        Source findings hash the rule code, the file's *basename*, the
+        enclosing qualname and the whitespace-normalized snippet — never
+        the absolute line number or the directory — so moving a file
+        between directories or shifting code up and down the file keeps
+        a baselined suppression valid.  Spec/DAG findings hash the rule
+        code plus the object coordinates (kind/namespace/name) and the
+        message; the fixture path is deliberately excluded for the same
+        reason.
         """
         h = hashlib.blake2b(digest_size=8)
-        for part in (self.code, self.location.path, self.location.kind,
-                     self.location.name, self.message):
+        if self.location.path and (self.snippet or self.qualname):
+            basename = self.location.path.replace("\\", "/").rsplit("/", 1)[-1]
+            parts = (
+                self.code,
+                basename,
+                self.qualname,
+                normalize_snippet(self.snippet) or self.message,
+            )
+        elif self.location.kind:
+            parts = (
+                self.code,
+                self.location.kind,
+                self.location.namespace,
+                self.location.name,
+                self.message,
+            )
+        else:
+            basename = self.location.path.replace("\\", "/").rsplit("/", 1)[-1]
+            parts = (self.code, basename, self.message)
+        for part in parts:
             h.update(part.encode())
             h.update(b"\x00")
         return h.hexdigest()
@@ -99,6 +133,8 @@ class Finding:
                 "namespace": self.location.namespace,
             },
             "suggestion": self.suggestion,
+            "qualname": self.qualname,
+            "snippet": self.snippet,
             "fingerprint": self.fingerprint,
         }
 

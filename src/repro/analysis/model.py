@@ -29,9 +29,14 @@ __all__ = [
     "ClusterSpecView",
     "StepView",
     "WorkflowView",
+    "TenantView",
+    "GatewayView",
+    "ClientRetryView",
+    "DeploymentView",
     "cluster_view",
     "pod_view_from_spec",
     "workflow_view",
+    "deployment_view_from_dict",
 ]
 
 
@@ -179,6 +184,131 @@ class WorkflowView:
             if s.name == name:
                 return s
         raise KeyError(name)
+
+
+# ------------------------------------------------------------------ deployment
+
+
+@dataclasses.dataclass(frozen=True)
+class TenantView:
+    """One gateway tenant (or a group of identical tenants)."""
+
+    name: str
+    rate: float = float("inf")  # sustained submissions/sec (token refill)
+    burst: float = float("inf")  # bucket capacity
+    weight: float = 1.0  # fair-share weight
+    priority_class: str = ""
+    namespace: str = ""
+    #: identical tenants collapsed into one view row
+    count: int = 1
+
+
+@dataclasses.dataclass(frozen=True)
+class GatewayView:
+    """Admission-gateway configuration as the deploy pack sees it."""
+
+    max_queue_depth: int = 0
+    pending_timeout_s: float = 0.0
+    breaker_failure_threshold: int = 0
+    breaker_cooldown_s: float = 0.0
+    tenants: tuple[TenantView, ...] = ()
+
+    @property
+    def has_rate_limits(self) -> bool:
+        return any(t.rate != float("inf") for t in self.tenants)
+
+    @property
+    def has_breaker(self) -> bool:
+        return self.breaker_failure_threshold > 0
+
+
+@dataclasses.dataclass(frozen=True)
+class ClientRetryView:
+    """The submitting client's retry policy (loadgen tenant runner)."""
+
+    max_submit_retries: int = 0
+    max_pod_retries: int = 0
+    #: client sleeps at least the gateway's retry_after hint before
+    #: resubmitting (the anti-retry-storm contract)
+    honors_retry_after: bool = True
+    #: minimum backoff between resubmissions, seconds
+    backoff_base_s: float = 1.0
+
+
+@dataclasses.dataclass(frozen=True)
+class DeploymentView:
+    """The cross-layer join the ``deploy`` pack inspects.
+
+    Any part may be absent (``None``/empty): rules check what is
+    present and stay quiet about the rest, so a gateway-only fixture
+    still exercises retry-storm rules without declaring a cluster.
+    """
+
+    cluster: "ClusterSpecView | None" = None
+    gateway: "GatewayView | None" = None
+    workflows: tuple[WorkflowView, ...] = ()
+    client: "ClientRetryView | None" = None
+    #: per-transfer attempts of network-bound steps (repro.netsim)
+    transfer_retry_attempts: int = 1
+    source: str = "deployment"
+
+
+def deployment_view_from_dict(
+    data: dict, source: str = "fixture"
+) -> DeploymentView:
+    """Build a :class:`DeploymentView` from a JSON fixture dict.
+
+    Reuses the cluster/workflow fixture schemas and adds ``gateway``
+    (queue/breaker knobs plus ``tenants``) and ``client`` (retry
+    policy) sections; see ``tests/analysis/fixtures/deploy_*.json``.
+    """
+    raw_gw = data.get("gateway")
+    gateway = None
+    if raw_gw is not None:
+        breaker = raw_gw.get("breaker", {})
+        tenants = tuple(
+            TenantView(
+                name=raw["name"],
+                rate=float(raw.get("rate", float("inf"))),
+                burst=float(raw.get("burst", float("inf"))),
+                weight=float(raw.get("weight", 1.0)),
+                priority_class=str(raw.get("priority_class", "")),
+                namespace=str(raw.get("namespace", "")),
+                count=int(raw.get("count", 1)),
+            )
+            for raw in raw_gw.get("tenants", [])
+        )
+        gateway = GatewayView(
+            max_queue_depth=int(raw_gw.get("max_queue_depth", 0)),
+            pending_timeout_s=float(raw_gw.get("pending_timeout_s", 0.0)),
+            breaker_failure_threshold=int(
+                breaker.get("failure_threshold", 0)
+            ),
+            breaker_cooldown_s=float(breaker.get("cooldown_s", 0.0)),
+            tenants=tenants,
+        )
+    raw_client = data.get("client")
+    client = None
+    if raw_client is not None:
+        client = ClientRetryView(
+            max_submit_retries=int(raw_client.get("max_submit_retries", 0)),
+            max_pod_retries=int(raw_client.get("max_pod_retries", 0)),
+            honors_retry_after=bool(
+                raw_client.get("honors_retry_after", True)
+            ),
+            backoff_base_s=float(raw_client.get("backoff_base_s", 1.0)),
+        )
+    cluster = None
+    if any(k in data for k in ("nodes", "namespaces", "pods", "jobs")):
+        cluster = spec_view_from_dict(data, source=source)
+    return DeploymentView(
+        cluster=cluster,
+        gateway=gateway,
+        workflows=tuple(workflow_views_from_dict(data, source=source)),
+        client=client,
+        transfer_retry_attempts=int(data.get("transfer_retry_attempts", 1)),
+        source=source,
+    )
 
 
 # -------------------------------------------------------------------- adapters

@@ -1,0 +1,152 @@
+"""Rule pack ``det`` (deep): interprocedural nondeterminism taint.
+
+The shallow determinism pack flags nondeterminism *where it happens*;
+this pass answers the question that actually matters for reproductions:
+**can it happen during a simulation run?**  A taint source — wall-clock
+read, process-global RNG draw, environment read, order-unstable
+iteration — in a function nobody calls from the simulation is inert.
+The same source reachable from ``WorkflowDriver.run`` or the admission
+gateway silently makes two same-seed runs diverge.
+
+The pass combines the per-function sources collected by
+:func:`repro.analysis.determinism.collect_taint_sources` with the
+whole-program :class:`~repro.analysis.callgraph.CallGraph` and reports
+one finding per tainted *source site* whose enclosing function is
+sim-reachable, quoting the full call path from the entry point::
+
+    driver.run -> stages.download -> clock.stamp: DET010 error:
+    wall-clock read time.time() is reachable from simulation entry
+    point 'driver.run' ...
+
+Codes (all errors — reachability **is** the severity argument):
+
+- ``DET010`` — wall-clock read on a sim-reachable path.
+- ``DET011`` — stdlib ``random`` (process-global state) on a
+  sim-reachable path.
+- ``DET012`` — environment read (``os.environ``/``os.getenv``): runs
+  depend on ambient shell state no seed controls.
+- ``DET013`` — iteration over order-unstable collections (``set``,
+  unsorted ``os.listdir``): hash/OS order leaks into event order.
+
+In deep mode these *replace* DET002/DET003 for code inside functions:
+the engine drops those shallow findings (their path-prefix heuristic is
+strictly worse than reachability), so a seeded test helper stops
+warning and a genuinely reachable draw upgrades to an error with its
+path quoted.
+"""
+
+from __future__ import annotations
+
+import pathlib
+import typing as _t
+
+from repro.analysis.callgraph import CallGraph, build_call_graph, module_name_for
+from repro.analysis.determinism import (
+    collect_taint_sources,
+    expand_python_paths,
+)
+from repro.analysis.findings import Finding, Location, Severity
+from repro.analysis.registry import rule
+
+__all__ = ["run_taint_analysis", "DEEP_DET_CODES"]
+
+#: taint-source kind -> deep rule code
+_KIND_CODES = {
+    "wall-clock": "DET010",
+    "global-rng": "DET011",
+    "env-read": "DET012",
+    "unordered-iter": "DET013",
+}
+
+DEEP_DET_CODES = tuple(sorted(_KIND_CODES.values()))
+
+_KIND_MESSAGES = {
+    "wall-clock": (
+        "wall-clock read {detail}()",
+        "read env.now (virtual time) or inject timestamps explicitly",
+    ),
+    "global-rng": (
+        "process-global RNG draw {detail}()",
+        "draw from a seeded generator: "
+        "np.random.default_rng(derive_seed(root, ...))",
+    ),
+    "env-read": (
+        "environment read {detail}",
+        "resolve configuration before the run and pass it in as data",
+    ),
+    "unordered-iter": (
+        "iteration over order-unstable {detail}",
+        "wrap the iterable in sorted(...) to pin the event order",
+    ),
+}
+
+
+def run_taint_analysis(
+    paths: _t.Sequence["str | pathlib.Path"],
+    graph: "CallGraph | None" = None,
+    entry_modules: "_t.Collection[str] | None" = None,
+) -> "list[Finding]":
+    """Report every taint source enclosed in a sim-reachable function.
+
+    Module-level sources (qualname ``""``) stay with the shallow rules:
+    reachability is a property of *functions*; import-time code runs
+    unconditionally and DET002/DET003 already judge it.
+    """
+    if graph is None:
+        graph = build_call_graph(paths, entry_modules=entry_modules)
+    findings: list[Finding] = []
+    for file in expand_python_paths(paths):
+        module = module_name_for(file)
+        try:
+            source = file.read_text()
+        except OSError:  # pragma: no cover - race with deletion
+            continue
+        for kind, detail, line, qualname, snippet in collect_taint_sources(
+            source, path=file
+        ):
+            if not qualname:
+                continue
+            func_qual = f"{module}.{qualname}"
+            if not graph.is_sim_reachable(func_qual):
+                continue
+            path_text = graph.format_path(func_qual)
+            entry = path_text.split(" -> ", 1)[0]
+            raw_message, suggestion = _KIND_MESSAGES[kind]
+            findings.append(
+                Finding(
+                    code=_KIND_CODES[kind],
+                    severity=Severity.ERROR,
+                    message=(
+                        f"{raw_message.format(detail=detail)} is reachable "
+                        f"from simulation entry point {entry!r}: "
+                        f"{path_text}; same-seed runs will diverge"
+                    ),
+                    location=Location(path=str(file), line=line),
+                    suggestion=suggestion,
+                    qualname=qualname,
+                    snippet=snippet,
+                )
+            )
+    return findings
+
+
+def _register_deep_det_rules() -> None:
+    specs = [
+        ("DET010", "sim-reachable-wall-clock",
+         "wall-clock read reachable from a simulation entry point"),
+        ("DET011", "sim-reachable-global-rng",
+         "stdlib random (process-global RNG) reachable from a "
+         "simulation entry point"),
+        ("DET012", "sim-reachable-env-read",
+         "os.environ/os.getenv read reachable from a simulation "
+         "entry point"),
+        ("DET013", "sim-reachable-unordered-iter",
+         "iteration over set/os.listdir order reachable from a "
+         "simulation entry point"),
+    ]
+    for code, name, description in specs:
+        rule(code, name, pack="det", severity=Severity.ERROR,
+             description=description)(run_taint_analysis)
+
+
+_register_deep_det_rules()

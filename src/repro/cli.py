@@ -12,8 +12,12 @@ Commands
 ``lint``
     Static analysis (repro-lint): run the spec/dag/det rule packs over
     JSON spec fixtures and Python sources, or — with no paths — over
-    the built testbed plus the CONNECT workflow.  Exits nonzero on
-    error findings (and on warnings under ``--strict``).
+    the built testbed plus the CONNECT workflow.  ``--deep`` adds the
+    whole-program pass (interprocedural determinism taint DET010+,
+    concurrency hazards CONC, cross-layer deployment lint DEPLOY) and,
+    with no paths, lints the installed ``repro`` package itself plus
+    the loadtest deployment config.  Exits nonzero on error findings
+    (and on warnings under ``--strict``).
 ``bench``
     Run the batched-compute macro-benchmarks (conv3d, wavefront flood
     fill, segment_volume, distributed fan-out) and write a
@@ -93,20 +97,28 @@ def build_parser() -> argparse.ArgumentParser:
              "no paths, lint the built testbed and the CONNECT workflow",
     )
     p_lint.add_argument(
-        "--format", choices=("text", "json"), default="text",
-        help="output format",
+        "--format", choices=("text", "json", "sarif"), default="text",
+        help="output format (sarif = SARIF 2.1.0 for code-scanning UIs)",
     )
     p_lint.add_argument(
         "--strict", action="store_true",
         help="exit nonzero on warnings too, not just errors",
     )
     p_lint.add_argument(
+        "--deep", action="store_true",
+        help="whole-program pass: call-graph determinism taint (DET010+), "
+             "concurrency hazards (CONC), cross-layer deployment lint "
+             "(DEPLOY); with no paths, lints the repro package itself and "
+             "the loadtest deployment config",
+    )
+    p_lint.add_argument(
         "--select", action="append", default=None, metavar="CODE",
-        help="run only these rule codes (repeatable)",
+        help="run only these rule codes (repeatable or comma-separated)",
     )
     p_lint.add_argument(
         "--disable", action="append", default=None, metavar="CODE",
-        help="switch these rule codes off (repeatable; wins over --select)",
+        help="switch these rule codes off (repeatable or comma-separated; "
+             "wins over --select)",
     )
     p_lint.add_argument(
         "--baseline", metavar="FILE", default=None,
@@ -258,12 +270,26 @@ def _cmd_lint(args: argparse.Namespace) -> int:
 
     baseline = None
     baseline_path = pathlib.Path(args.baseline) if args.baseline else None
+    if baseline_path is None and args.deep:
+        # The committed repo baseline gates `lint --deep --strict` in CI;
+        # an explicit --baseline always wins.
+        default_baseline = pathlib.Path("lint-baseline.json")
+        if default_baseline.exists():
+            baseline_path = default_baseline
     if baseline_path is not None and baseline_path.exists():
         baseline = Baseline.load(baseline_path)
 
+    def split_codes(values: "list[str] | None") -> "list[str] | None":
+        if values is None:
+            return None
+        return [c for v in values for c in v.split(",") if c]
+
     try:
         engine = LintEngine(
-            select=args.select, disable=args.disable, baseline=baseline
+            select=split_codes(args.select),
+            disable=split_codes(args.disable),
+            baseline=baseline,
+            deep=args.deep,
         )
     except KeyError as exc:
         print(exc.args[0], file=sys.stderr)
@@ -274,7 +300,9 @@ def _cmd_lint(args: argparse.Namespace) -> int:
             report = engine.lint_paths(args.paths)
         else:
             # No paths: lint the deployment itself — the built testbed's
-            # cluster and the CONNECT workflow against its GPU total.
+            # cluster and the CONNECT workflow against its GPU total
+            # (and, under --deep, the package sources plus the loadtest
+            # deployment config).
             from repro.testbed import build_nautilus_testbed
             from repro.workflow import build_connect_workflow
 
@@ -284,12 +312,28 @@ def _cmd_lint(args: argparse.Namespace) -> int:
                     seed=args.seed, scale=args.scale
                 )
                 workflow = build_connect_workflow(testbed)
+            deployment = None
+            if args.deep:
+                from repro.loadgen import (
+                    LoadgenConfig,
+                    loadtest_deployment_view,
+                )
+
+                deployment = loadtest_deployment_view(LoadgenConfig())
             report = engine.lint_views(
                 cluster=cluster_view(testbed.cluster),
                 workflows=[
                     workflow_view(workflow, total_gpus=testbed.total_gpus())
                 ],
+                deployment=deployment,
             )
+            if args.deep:
+                import repro as _repro_pkg
+
+                pkg_root = pathlib.Path(_repro_pkg.__file__).parent
+                deep_report = engine.lint_paths([pkg_root])
+                report.merge(deep_report.findings)
+                report.suppressed.extend(deep_report.suppressed)
     except FileNotFoundError as exc:
         print(str(exc), file=sys.stderr)
         return 2
@@ -308,6 +352,8 @@ def _cmd_lint(args: argparse.Namespace) -> int:
 
     if args.format == "json":
         print(report.render_json())
+    elif args.format == "sarif":
+        print(report.render_sarif())
     else:
         print(report.render_text())
     return report.exit_code(strict=args.strict)

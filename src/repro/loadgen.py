@@ -54,6 +54,7 @@ __all__ = [
     "WorkflowOutcome",
     "LoadTestReport",
     "run_loadtest",
+    "loadtest_deployment_view",
 ]
 
 
@@ -404,6 +405,104 @@ class _TenantRunner:
         outcome.finished_at = self.env.now
         outcome.degraded = degraded
         self.outcomes.append(outcome)
+
+
+def loadtest_deployment_view(
+    config: "LoadgenConfig | None" = None, cluster=None
+):
+    """The overload drill's config as a lint :class:`DeploymentView`.
+
+    This is the cross-layer join ``repro lint --deep`` inspects with the
+    ``deploy`` pack: the gateway's tenant policies, the client retry
+    budgets of :class:`_TenantRunner` (which *honors*
+    ``decision.retry_after_s`` — the property DEPLOY001 checks), and the
+    CONNECT-derived workflow shape with its inference fan-out.  CI
+    asserts the default config passes the pack clean, so config drift
+    that opens a retry-storm loop fails the build before any drill runs.
+    """
+    from repro.analysis.model import (
+        ClientRetryView,
+        DeploymentView,
+        GatewayView,
+        StepView,
+        TenantView,
+        WorkflowView,
+        cluster_view,
+    )
+
+    cfg = config or LoadgenConfig()
+    n_high = cfg.n_high_priority()
+    tenants = []
+    if n_high:
+        tenants.append(
+            TenantView(
+                name="high-tenants",
+                rate=cfg.tenant_rate,
+                burst=cfg.tenant_burst,
+                weight=4.0,
+                priority_class="high",
+                count=n_high,
+            )
+        )
+    if cfg.n_tenants - n_high:
+        tenants.append(
+            TenantView(
+                name="batch-tenants",
+                rate=cfg.tenant_rate,
+                burst=cfg.tenant_burst,
+                weight=1.0,
+                priority_class="batch",
+                count=cfg.n_tenants - n_high,
+            )
+        )
+    # The drill's workflow DAG: download -> train -> infer×fanout -> viz.
+    steps = [
+        StepView(name="download", network_bound=True, max_retries=cfg.max_pod_retries,
+                 timeout_s=cfg.pending_timeout_s),
+        StepView(name="train", depends_on=("download",), gpus=1,
+                 max_retries=cfg.max_pod_retries,
+                 timeout_s=cfg.pending_timeout_s),
+    ]
+    infer_names = tuple(
+        f"infer-s{shard}" for shard in range(cfg.inference_fanout)
+    )
+    for name in infer_names:
+        steps.append(
+            StepView(name=name, depends_on=("train",), gpus=1,
+                     max_retries=cfg.max_pod_retries,
+                     timeout_s=cfg.pending_timeout_s)
+        )
+    steps.append(
+        StepView(name="viz", depends_on=infer_names,
+                 max_retries=cfg.max_pod_retries,
+                 timeout_s=cfg.pending_timeout_s)
+    )
+    return DeploymentView(
+        cluster=cluster_view(cluster) if cluster is not None else None,
+        gateway=GatewayView(
+            max_queue_depth=cfg.max_queue_depth,
+            pending_timeout_s=cfg.pending_timeout_s,
+            breaker_failure_threshold=cfg.breaker_failure_threshold,
+            breaker_cooldown_s=cfg.breaker_cooldown_s,
+            tenants=tuple(tenants),
+        ),
+        workflows=(
+            WorkflowView(
+                name="loadgen-connect", steps=tuple(steps),
+                source="loadgen",
+            ),
+        ),
+        client=ClientRetryView(
+            max_submit_retries=cfg.max_submit_retries,
+            max_pod_retries=cfg.max_pod_retries,
+            # _TenantRunner._submit sleeps >= decision.retry_after_s
+            # (floored at 1s, jittered) before every resubmission.
+            honors_retry_after=True,
+            backoff_base_s=1.0,
+        ),
+        transfer_retry_attempts=1,
+        source="loadgen",
+    )
 
 
 def _percentiles(values: _t.Sequence[float]) -> dict[str, float]:

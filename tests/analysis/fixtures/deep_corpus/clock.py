@@ -1,0 +1,7 @@
+"""Seeded defect: wall-clock read inside a sim-reachable function."""
+
+import time
+
+
+def stamp():
+    return time.time()  # DET010 when reached from driver.run

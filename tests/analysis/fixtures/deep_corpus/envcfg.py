@@ -1,0 +1,14 @@
+"""Seeded defects: an environment read on the reachable path, and a
+global-RNG draw in a helper nothing calls (must stay quiet in deep
+mode — the shallow DET002 warning is requalified away)."""
+
+import os
+import random
+
+
+def limit():
+    return int(os.environ.get("REPRO_LIMIT", "8"))  # DET012
+
+
+def dead_code_draw():
+    return random.random()  # unreachable: no DET011, no DET002 in deep

@@ -1,0 +1,48 @@
+"""Seeded concurrency defects: one module exercising CONC001-003.
+
+The ``scheduler`` fragment in the module name would mark this as a sim
+entry module outside a tests/ directory; tests pass ``entry_modules``
+explicitly so the corpus works from anywhere.
+"""
+
+PENDING = {}  # module-level shared state (CONC003 when mutated below)
+
+
+class QueueManager:
+    def __init__(self, env):
+        self.env = env
+        self.queue = []
+        self.inflight = {}
+        self.done = []
+
+    def drain(self):
+        """CONC001: guard on self.queue, yield, then pop the stale view."""
+        while True:
+            if len(self.queue) > 0:  # guard read
+                yield self.env.timeout(1.0)  # suspension point
+                item = self.queue.pop(0)  # stale: queue may have drained
+                self.inflight[item] = self.env.now  # CONC002 writer (proc)
+                PENDING[item] = "running"  # CONC003: module state
+            else:
+                yield self.env.timeout(5.0)
+
+    def _on_done(self, item):
+        """Hook-registered callback: the second CONC002 writer."""
+        self.inflight.pop(item, None)
+        self.done.append(item)
+
+    def safe_refill(self):
+        """Re-reads after the yield: must NOT trigger CONC001."""
+        while True:
+            if len(self.queue) < 8:  # guard read
+                yield self.env.timeout(1.0)
+                if len(self.queue) < 8:  # re-read refreshes the view
+                    self.queue.append(self.env.now)
+
+
+def build(env, hooks):
+    mgr = QueueManager(env)
+    hooks.append(mgr._on_done)  # registers the callback by reference
+    env.process(mgr.drain())
+    env.process(mgr.safe_refill())
+    return mgr

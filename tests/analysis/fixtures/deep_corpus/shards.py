@@ -1,0 +1,18 @@
+"""Seeded defects: order-unstable iteration (os.listdir and a set
+literal) feeding shard assignment — hash/OS order becomes event order."""
+
+import os
+
+
+def plan(root):
+    out = []
+    for name in os.listdir(root):  # DET013: OS-dependent order
+        out.append(name)
+    for mode in {"fast", "slow"}:  # DET013: set iteration order
+        out.append(mode)
+    return out
+
+
+def plan_sorted(root):
+    # Not a loop over the unstable iterable: stays quiet by construction.
+    return sorted(os.listdir(root))

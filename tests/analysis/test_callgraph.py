@@ -1,0 +1,138 @@
+"""Call graph construction: module naming, edges, entries, reachability."""
+
+from __future__ import annotations
+
+import pathlib
+import textwrap
+
+from repro.analysis.callgraph import (
+    build_call_graph,
+    is_test_module,
+    module_name_for,
+)
+
+FIXTURES = pathlib.Path(__file__).parent / "fixtures"
+CORPUS = FIXTURES / "deep_corpus"
+REPO = pathlib.Path(__file__).resolve().parents[2]
+
+ENTRIES = ["driver", "scheduler_conc"]
+
+
+def corpus_graph():
+    return build_call_graph([CORPUS], entry_modules=ENTRIES)
+
+
+# ---------------------------------------------------------- module naming
+
+
+def test_module_name_for_package_chain():
+    path = REPO / "src" / "repro" / "gateway" / "gateway.py"
+    assert module_name_for(path) == "repro.gateway.gateway"
+
+
+def test_module_name_for_loose_file():
+    assert module_name_for(CORPUS / "driver.py") == "driver"
+
+
+def test_is_test_module():
+    assert is_test_module("tests.analysis.test_foo", "tests/analysis/test_foo.py")
+    assert is_test_module("pkg.conftest", "pkg/conftest.py")
+    assert is_test_module("driver", str(CORPUS / "driver.py"))  # tests/ path part
+    assert not is_test_module("repro.gateway.gateway", "src/repro/gateway/gateway.py")
+    assert not is_test_module("contest", "src/contest.py")  # no substring match
+
+
+# ------------------------------------------------------------ construction
+
+
+def test_corpus_graph_entries_are_all_entry_module_functions():
+    graph = corpus_graph()
+    assert "driver.run" in graph.entries
+    assert "driver.helper_not_reached" in graph.entries
+    assert "scheduler_conc.QueueManager.drain" in graph.entries
+    # Non-entry modules contribute no entries of their own.
+    assert not any(q.startswith("clock.") for q in graph.entries)
+
+
+def test_cross_module_edges_resolve():
+    graph = corpus_graph()
+    assert "clock.stamp" in graph.edges.get("driver.run", set())
+    assert "rngpool.draw" in graph.edges.get("driver.run", set())
+    # Two hops: draw -> _jitter inside the same module.
+    assert "rngpool._jitter" in graph.edges.get("rngpool.draw", set())
+
+
+def test_sim_reachable_closure_and_dead_code():
+    graph = corpus_graph()
+    assert "rngpool._jitter" in graph.sim_reachable  # two hops from entry
+    assert "envcfg.limit" in graph.sim_reachable
+    assert "rngpool.make_gen_unreached" not in graph.sim_reachable
+    assert "envcfg.dead_code_draw" not in graph.sim_reachable
+
+
+def test_callbacks_are_references_passed_to_calls():
+    graph = corpus_graph()
+    # hooks.append(mgr._on_done) registers _on_done by reference.
+    assert "scheduler_conc.QueueManager._on_done" in graph.callbacks()
+
+
+def test_call_path_is_deterministic_and_formats():
+    graph = corpus_graph()
+    path = graph.call_path("rngpool._jitter")
+    assert path == ["driver.run", "rngpool.draw", "rngpool._jitter"]
+    text = graph.format_path(path)
+    assert "driver.run -> rngpool.draw -> rngpool._jitter" == text
+    # Repeated builds give the same answer (no hash-order leakage).
+    again = corpus_graph().call_path("rngpool._jitter")
+    assert again == path
+
+
+def test_entry_detection_by_module_marker(tmp_path):
+    # Outside tests/, a module with a marker fragment ("driver") in its
+    # name is auto-detected as an entry module.
+    mod = tmp_path / "my_driver.py"
+    mod.write_text(
+        textwrap.dedent(
+            """
+            def go():
+                return helper()
+
+
+            def helper():
+                return 1
+            """
+        )
+    )
+    graph = build_call_graph([tmp_path])
+    assert "my_driver.go" in graph.entries
+    assert "my_driver.helper" in graph.sim_reachable
+
+
+def test_instance_attribute_types_resolve_method_calls(tmp_path):
+    mod = tmp_path / "app_driver.py"
+    mod.write_text(
+        textwrap.dedent(
+            """
+            class Worker:
+                def work(self):
+                    return 1
+
+
+            class App:
+                def __init__(self):
+                    self.worker = Worker()
+
+                def run(self):
+                    return self.worker.work()
+            """
+        )
+    )
+    graph = build_call_graph([tmp_path])
+    assert "app_driver.Worker.work" in graph.edges.get("app_driver.App.run", set())
+
+
+def test_repo_graph_reaches_gateway_and_driver():
+    graph = build_call_graph([REPO / "src" / "repro"])
+    assert "repro.workflow.driver.WorkflowDriver.run" in graph.entries
+    assert "repro.gateway.gateway.AdmissionGateway.submit" in graph.sim_reachable
+    assert "repro.gateway.gateway.AdmissionGateway._on_phase_change" in graph.callbacks()

@@ -156,3 +156,126 @@ def test_lint_update_baseline_requires_path(capsys):
     )
     assert code == 2
     assert "--baseline" in err
+
+
+# -------------------------------------------------------------- deep mode
+
+
+def copy_corpus(tmp_path):
+    # Copied out of tests/ so entry-module auto-detection kicks in
+    # (driver/scheduler markers), exactly as it would in a real tree.
+    corpus = tmp_path / "corpus"
+    corpus.mkdir()
+    for src in (FIXTURES / "deep_corpus").glob("*.py"):
+        (corpus / src.name).write_text(src.read_text())
+    return corpus
+
+
+def test_lint_deep_exits_nonzero_on_corpus(tmp_path, capsys):
+    code, out, _err = run(["lint", "--deep", str(copy_corpus(tmp_path))], capsys)
+    assert code == 1
+    for expected in ("DET010", "DET011", "DET012", "DET013",
+                     "CONC001", "CONC002", "CONC003"):
+        assert expected in out
+    assert "->" in out  # call paths are quoted
+
+
+def test_lint_deep_requalifies_shallow_det002(tmp_path, capsys):
+    corpus = copy_corpus(tmp_path)
+    code, out, _err = run(["lint", str(corpus)], capsys)
+    assert "DET002" in out  # shallow: random.random() warnings
+    code, out, _err = run(["lint", "--deep", str(corpus)], capsys)
+    assert "DET002" not in out  # deep: requalified to DET011 or dropped
+    assert "DET011" in out
+
+
+def test_lint_deep_fires_deploy_rules_on_json(capsys):
+    code, out, _err = run(
+        ["lint", "--deep", str(FIXTURES / "deploy_retry_storm.json")], capsys
+    )
+    assert code == 1
+    for expected in ("DEPLOY001", "DEPLOY004", "DEPLOY005"):
+        assert expected in out
+
+
+def test_lint_shallow_skips_deploy_rules_on_json(capsys):
+    code, _out, _err = run(
+        ["lint", str(FIXTURES / "deploy_retry_storm.json")], capsys
+    )
+    assert code == 0  # spec/dag view of the same file is clean
+
+
+def test_lint_deep_select_and_disable_new_codes(tmp_path, capsys):
+    corpus = str(copy_corpus(tmp_path))
+    code, out, _err = run(
+        ["lint", "--deep", "--select", "CONC002", corpus], capsys
+    )
+    assert code == 0  # CONC002 is a warning
+    assert "CONC002" in out and "DET010" not in out
+    code, out, _err = run(
+        ["lint", "--deep", "--strict", "--disable", "DET010,DET011,DET012,"
+         "DET013,DET001,CONC001,CONC002,CONC003", corpus],
+        capsys,
+    )
+    assert code == 0
+
+
+def test_lint_deep_sarif_output_validates(tmp_path, capsys):
+    import json as _json
+
+    from repro.analysis import validate_sarif
+
+    code, out, _err = run(
+        ["lint", "--deep", "--format", "sarif", str(copy_corpus(tmp_path))],
+        capsys,
+    )
+    assert code == 1
+    doc = _json.loads(out)
+    assert validate_sarif(doc) == []
+    rule_ids = {r["ruleId"] for r in doc["runs"][0]["results"]}
+    assert "DET010" in rule_ids and "CONC001" in rule_ids
+
+
+def test_lint_deep_output_is_byte_identical_across_runs(tmp_path, capsys):
+    corpus = str(copy_corpus(tmp_path))
+    runs = []
+    for _ in range(2):
+        _code, out, _err = run(
+            ["lint", "--deep", "--format", "sarif", corpus], capsys
+        )
+        runs.append(out)
+    assert runs[0] == runs[1]
+
+
+def test_lint_deep_baseline_roundtrip_and_autoload(tmp_path, capsys, monkeypatch):
+    corpus = str(copy_corpus(tmp_path))
+    monkeypatch.chdir(tmp_path)
+
+    code, _out, _err = run(["lint", "--deep", corpus], capsys)
+    assert code == 1
+
+    # Accept everything into the default baseline file name.
+    code, _out, _err = run(
+        ["lint", "--deep", "--baseline", "lint-baseline.json",
+         "--update-baseline", corpus],
+        capsys,
+    )
+    assert code == 0
+
+    # Without --baseline, deep mode auto-loads ./lint-baseline.json.
+    code, out, _err = run(["lint", "--deep", "--strict", corpus], capsys)
+    assert code == 0
+    assert "suppressed" in out
+
+
+def test_lint_deep_strict_repo_root_passes_with_committed_baseline(
+    capsys, monkeypatch
+):
+    # The CI gate: deep lint over the whole package (testbed views,
+    # loadtest deployment, package sources) passes with the committed
+    # baseline of documented exceptions.
+    monkeypatch.chdir(REPO)
+    code, out, _err = run(
+        ["lint", "--deep", "--strict", "--scale", "0.001"], capsys
+    )
+    assert code == 0

@@ -1,0 +1,97 @@
+"""Concurrency hazards (CONC001-CONC003) over the seeded corpus."""
+
+from __future__ import annotations
+
+import pathlib
+import textwrap
+
+from repro.analysis import Severity, build_call_graph, run_concurrency_rules
+
+FIXTURES = pathlib.Path(__file__).parent / "fixtures"
+CORPUS = FIXTURES / "deep_corpus"
+REPO = pathlib.Path(__file__).resolve().parents[2]
+
+ENTRIES = ["driver", "scheduler_conc"]
+
+
+def corpus_conc():
+    graph = build_call_graph([CORPUS], entry_modules=ENTRIES)
+    return run_concurrency_rules([CORPUS], graph=graph)
+
+
+def by_code(findings):
+    out = {}
+    for f in findings:
+        out.setdefault(f.code, []).append(f)
+    return out
+
+
+def test_corpus_fires_each_conc_rule_exactly_once():
+    codes = by_code(corpus_conc())
+    assert set(codes) == {"CONC001", "CONC002", "CONC003"}
+    assert all(len(v) == 1 for v in codes.values())
+    assert all(f.severity is Severity.WARNING for f in corpus_conc())
+
+
+def test_conc001_stale_guard_across_yield():
+    (f,) = by_code(corpus_conc())["CONC001"]
+    assert f.qualname == "QueueManager.drain"
+    assert "self.queue" in f.message
+    assert "yield" in f.message
+
+
+def test_conc001_re_read_after_yield_is_safe():
+    # safe_refill re-checks the guard after the yield: no finding.
+    quals = {f.qualname for f in corpus_conc()}
+    assert "QueueManager.safe_refill" not in quals
+
+
+def test_conc002_callback_vs_process_writer():
+    (f,) = by_code(corpus_conc())["CONC002"]
+    assert "self.inflight" in f.message
+    assert "QueueManager._on_done" in f.message
+    assert "QueueManager.drain" in f.message
+    # Anchored at the attribute's declaration in __init__.
+    assert f.qualname == "QueueManager.__init__"
+
+
+def test_conc003_module_level_mutable():
+    (f,) = by_code(corpus_conc())["CONC003"]
+    assert "PENDING" in f.message
+    assert "QueueManager.drain" in f.message
+
+
+def test_conc_rules_need_sim_reachability(tmp_path):
+    # The same hazard pattern in a module nothing reaches stays quiet.
+    mod = tmp_path / "orphan.py"
+    mod.write_text(
+        textwrap.dedent(
+            """
+            STATE = {}
+
+
+            class M:
+                def __init__(self, env):
+                    self.env = env
+                    self.q = []
+
+                def loop(self):
+                    while True:
+                        if self.q:
+                            yield self.env.timeout(1)
+                            self.q.pop()
+                            STATE["x"] = 1
+            """
+        )
+    )
+    graph = build_call_graph([tmp_path], entry_modules=["no_such_module"])
+    assert run_concurrency_rules([tmp_path], graph=graph) == []
+
+
+def test_repo_gateway_watched_is_the_only_repo_hazard():
+    graph = build_call_graph([REPO / "src" / "repro"])
+    findings = run_concurrency_rules([REPO / "src" / "repro"], graph=graph)
+    assert [f.code for f in findings] == ["CONC002"]
+    (f,) = findings
+    assert f.location.path.endswith("gateway.py")
+    assert "_watched" in f.message

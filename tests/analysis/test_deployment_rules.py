@@ -1,0 +1,104 @@
+"""Deployment lint (DEPLOY001-DEPLOY005): cross-layer config joins."""
+
+from __future__ import annotations
+
+import dataclasses
+import json
+import pathlib
+
+from repro.analysis import Severity, deployment_view_from_dict
+from repro.analysis.deployment_rules import (
+    RETRY_AMPLIFICATION_BOUND,
+    priority_rank,
+    run_deployment_rules,
+)
+from repro.loadgen import LoadgenConfig, loadtest_deployment_view
+
+FIXTURES = pathlib.Path(__file__).parent / "fixtures"
+
+
+def view_from_fixture(name):
+    data = json.loads((FIXTURES / name).read_text())
+    return deployment_view_from_dict(data, source=name)
+
+
+def codes_of(findings):
+    return [f.code for f in findings]
+
+
+# ------------------------------------------------------- seeded fixtures
+
+
+def test_retry_storm_fixture_fires_deploy001_004_005():
+    findings = run_deployment_rules(view_from_fixture("deploy_retry_storm.json"))
+    assert sorted(codes_of(findings)) == ["DEPLOY001", "DEPLOY004", "DEPLOY005"]
+    by_code = {f.code: f for f in findings}
+    assert by_code["DEPLOY001"].severity is Severity.ERROR
+    assert "retry_after" in by_code["DEPLOY001"].message
+    assert "6 pods" in by_code["DEPLOY004"].message
+    # (12+1) submit x (9+1) pod x 3 transfer = 390 worst-case attempts.
+    assert "390" in by_code["DEPLOY005"].message
+    assert str(RETRY_AMPLIFICATION_BOUND) in by_code["DEPLOY005"].message
+
+
+def test_starvation_fixture_fires_deploy002():
+    findings = run_deployment_rules(view_from_fixture("deploy_starvation.json"))
+    assert codes_of(findings) == ["DEPLOY002"]
+    (f,) = findings
+    assert f.severity is Severity.ERROR
+    assert "starved-batch" in f.message
+    assert "16 GPUs" in f.message
+
+
+def test_quota_trap_fixture_fires_deploy003_error_and_warning():
+    findings = run_deployment_rules(view_from_fixture("deploy_quota_trap.json"))
+    assert sorted(codes_of(findings)) == ["DEPLOY003", "DEPLOY003"]
+    severities = {f.severity for f in findings}
+    assert severities == {Severity.ERROR, Severity.WARNING}
+    error = next(f for f in findings if f.severity is Severity.ERROR)
+    assert "train-big" in error.message and "small-lab" in error.message
+    warning = next(f for f in findings if f.severity is Severity.WARNING)
+    assert "mid-lab" in warning.message
+
+
+# ---------------------------------------------------- loadgen integration
+
+
+def test_loadgen_default_deployment_is_clean():
+    view = loadtest_deployment_view(LoadgenConfig())
+    assert run_deployment_rules(view) == []
+
+
+def test_loadgen_view_with_impatient_client_fires_deploy001():
+    view = loadtest_deployment_view(LoadgenConfig())
+    bad = dataclasses.replace(
+        view, client=dataclasses.replace(view.client, honors_retry_after=False)
+    )
+    assert "DEPLOY001" in codes_of(run_deployment_rules(bad))
+
+
+def test_loadgen_view_with_runaway_retries_fires_deploy005():
+    view = loadtest_deployment_view(LoadgenConfig())
+    bad = dataclasses.replace(
+        view,
+        client=dataclasses.replace(
+            view.client, max_submit_retries=20, max_pod_retries=9
+        ),
+    )
+    assert "DEPLOY005" in codes_of(run_deployment_rules(bad))
+
+
+# ----------------------------------------------------------------- helpers
+
+
+def test_priority_rank_matches_cluster_classes():
+    assert priority_rank("high") > priority_rank("batch")
+    assert priority_rank("system") > priority_rank("high")
+    assert priority_rank("no-such-class") == 0
+
+
+def test_deployment_rules_are_deterministic():
+    view = view_from_fixture("deploy_retry_storm.json")
+    first = [(f.code, f.message) for f in run_deployment_rules(view)]
+    second = [(f.code, f.message) for f in run_deployment_rules(view)]
+    assert first == second
