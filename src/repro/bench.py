@@ -9,18 +9,32 @@ FFN compute engine —
   wavefront engine vs the ``"serial"`` per-patch reference;
 - ``segment_volume_wavefront``: whole-volume segmentation on the macro
   shape, batched vs serial (the headline number);
-- ``distributed_fanout``: ``distributed_segment`` on a process pool
-  (``max_workers>1``) vs the in-process shard loop (``max_workers=1``);
+- ``multiseed_wavefront``: whole-volume segmentation with multi-seed
+  wavefront batching (``seed_batch>1``) vs one flood at a time;
+- ``distributed_fanout``: ``distributed_segment`` on a persistent
+  shared-memory worker pool (``max_workers>1``, zero-copy shard views)
+  vs the in-process shard loop (``max_workers=1``);
+- ``pipelined_driver``: the CONNECT workflow under the pipelined driver
+  (``overlap=True``) vs the strict per-step barrier — **simulated**-time
+  makespans (deterministic), with the traced per-layer partition and the
+  measured compute/transfer overlap in ``meta``;
 
 — and writes a ``BENCH_<date>.json`` artifact recording wall times,
 speedups, and SHA-256 output checksums, so successive PRs accumulate a
 performance trajectory.  Checksums of the compared paths must match:
 a speedup that changes the answer is a bug, not a win.
 
+:func:`compare_artifacts` diffs two such artifacts and flags >10%
+speedup regressions (``repro bench --compare OLD.json`` exits nonzero on
+any) — fan-out results measured on hosts with fewer cores than workers
+are recorded ``degraded: true`` and excluded from that gate, so a
+1-core CI runner cannot fail the build over parallelism it never had.
+
 Timings use ``time.perf_counter`` (monotonic durations); the only
 wall-clock read is the artifact's date stamp.  All inputs are seeded,
 so the *outputs* (and their checksums) are deterministic even though
-the timings are not.
+the timings are not (the ``pipelined_driver`` record's simulated
+makespans are the exception: fully deterministic).
 """
 
 from __future__ import annotations
@@ -41,6 +55,7 @@ from repro.ml.conv3d import conv3d_forward, conv3d_forward_batch
 from repro.ml.distributed_inference import distributed_segment
 from repro.ml.ffn import FFNConfig, FFNModel
 from repro.ml.inference import flood_fill, segment_volume
+from repro.ml.shm_pool import SharedMemoryPool
 from repro.ml.training import FFNTrainer
 
 __all__ = [
@@ -49,7 +64,18 @@ __all__ = [
     "run_benchmarks",
     "write_artifact",
     "render_summary",
+    "compare_artifacts",
+    "render_comparison",
 ]
+
+#: ``--compare`` regression threshold: a benchmark regresses when its
+#: speedup drops below ``old * (1 - REGRESSION_THRESHOLD)``.
+REGRESSION_THRESHOLD = 0.10
+
+#: Wall-clock records where both paths ran faster than this are below
+#: timing-noise floor on shared CI runners; ``compare_artifacts`` skips
+#: them rather than gating on noise.
+NOISE_FLOOR_S = 0.05
 
 
 @dataclasses.dataclass
@@ -252,21 +278,92 @@ def _bench_segment(world: dict, repeat: int) -> BenchRecord:
     )
 
 
+def _bench_multiseed(world: dict, repeat: int, seed_batch: int = 4) -> BenchRecord:
+    """Multi-seed wavefront batching in its target regime.
+
+    ``seed_batch`` pays off when individual flood frontiers are *thin* —
+    many small objects, each a handful of patches per wave — so the
+    merged wavefront keeps the FFN batch dimension fat where the
+    one-flood-at-a-time path makes many tiny forward calls.  The
+    workload is therefore a many-small-objects volume (the regime of
+    per-timestep atmospheric-river cores), not the macro blob volume the
+    other benches share: on a few large objects the frontiers are
+    already fat and speculation can only lose.
+    """
+    model = world["model"]
+    smoke = world["smoke"]
+    rng = np.random.default_rng(11)
+    n_blobs = 10 if smoke else 30
+    shape = (14, 24, 24) if smoke else (24, 48, 48)
+    centers = [
+        (int(z), int(y), int(x))
+        for z, y, x in zip(
+            rng.integers(3, shape[0] - 3, n_blobs),
+            rng.integers(3, shape[1] - 3, n_blobs),
+            rng.integers(3, shape[2] - 3, n_blobs),
+        )
+    ]
+    vol, _ = _blob_volume(shape, centers, radius=1.6, seed=49)
+    max_objects = 32
+
+    def run(batch: int) -> _t.Callable[[], np.ndarray]:
+        return lambda: segment_volume(
+            model, vol, max_objects=max_objects, engine="batched",
+            seed_batch=batch, max_steps_per_object=64,
+        )
+
+    t_1, out_1 = _time_best(run(1), repeat)
+    t_n, out_n = _time_best(run(seed_batch), repeat)
+    return BenchRecord(
+        name="multiseed_wavefront",
+        baseline="one flood at a time (seed_batch=1)",
+        optimized=f"multi-seed wavefront (seed_batch={seed_batch})",
+        baseline_seconds=t_1,
+        optimized_seconds=t_n,
+        checksum_baseline=_checksum(out_1),
+        checksum_optimized=_checksum(out_n),
+        meta={
+            "volume": list(shape),
+            "n_blobs": n_blobs,
+            "seed_batch": seed_batch,
+            "objects_found": int(out_n.max()),
+        },
+    )
+
+
 def _bench_distributed(world: dict, repeat: int, max_workers: int) -> BenchRecord:
+    """Fan-out on the persistent shared-memory pool vs in-process.
+
+    The pool is built **outside** the timed region — worker startup is a
+    one-time cost an inference service pays once, not per volume.  Hosts
+    with fewer cores than workers cannot express the parallelism being
+    measured; their results are recorded with ``degraded: true`` (and
+    the measured ``effective_parallelism``) so downstream comparisons
+    exclude them from the speedup gate instead of reporting a fake
+    regression.
+    """
     model, vol = world["model"], world["macro_volume"]
     n_shards = world["n_shards"]
+    cpu_count = os.cpu_count() or 1
 
-    def run(workers: int) -> _t.Callable[[], np.ndarray]:
-        return lambda: distributed_segment(
-            model, vol, n_workers=n_shards, halo=2, max_workers=workers
+    def serial() -> np.ndarray:
+        return distributed_segment(
+            model, vol, n_workers=n_shards, halo=2, max_workers=1
         )[0]
 
-    t_s, out_s = _time_best(run(1), repeat)
-    t_p, out_p = _time_best(run(max_workers), repeat)
+    t_s, out_s = _time_best(serial, repeat)
+    with SharedMemoryPool(model, n_workers=min(max_workers, n_shards)) as pool:
+        def pooled() -> np.ndarray:
+            return distributed_segment(
+                model, vol, n_workers=n_shards, halo=2,
+                max_workers=max_workers, pool=pool,
+            )[0]
+
+        t_p, out_p = _time_best(pooled, repeat)
     return BenchRecord(
         name="distributed_fanout",
         baseline="in-process shard loop (max_workers=1)",
-        optimized=f"process-pool fan-out (max_workers={max_workers})",
+        optimized=f"shared-memory pool fan-out (max_workers={max_workers})",
         baseline_seconds=t_s,
         optimized_seconds=t_p,
         checksum_baseline=_checksum(out_s),
@@ -275,7 +372,98 @@ def _bench_distributed(world: dict, repeat: int, max_workers: int) -> BenchRecor
             "volume": list(world["macro_shape"]),
             "n_shards": n_shards,
             "max_workers": max_workers,
-            "cpu_count": os.cpu_count(),
+            "cpu_count": cpu_count,
+            "pool": "shm-persistent",
+            "effective_parallelism": min(max_workers, cpu_count, n_shards),
+            "degraded": cpu_count < max_workers,
+        },
+    )
+
+
+def _artifact_checksum(report) -> str:
+    """Checksum over a workflow report's final artifacts (the stable
+    JSON projection, step order fixed by name)."""
+    projection = {
+        s.name: s.to_dict()["artifacts"] for s in report.steps
+    }
+    blob = json.dumps(projection, sort_keys=True).encode()
+    return hashlib.sha256(blob).hexdigest()[:16]
+
+
+def _bench_pipelined(smoke: bool, seed: int) -> BenchRecord:
+    """The CONNECT workflow, pipelined driver vs per-step barrier.
+
+    Unlike the other benches this one measures **simulated** makespan —
+    deterministic on any host, so the record's speedup is exact and can
+    gate regressions even on noisy CI runners.  Both runs are traced;
+    ``meta`` carries each run's exact per-layer time partition plus the
+    measured compute/transfer overlap (the pipelining win is *visible*
+    as overlap_s growing while the makespan shrinks).  The checksums
+    hash the final artifact projection: overlap must not change what the
+    workflow produced, only when its steps ran.
+    """
+    from repro.testbed import build_nautilus_testbed
+    from repro.tracing import analyze_run, layer_overlap
+    from repro.workflow import WorkflowDriver, build_connect_workflow
+
+    scale = 0.002 if smoke else 0.01
+    # The bench workload shortens training (3 simulated days, light real
+    # ML) so the download transfer tail is a visible fraction of the
+    # makespan — the regime the pipelined driver targets.
+    overrides = {
+        "training": {
+            "train_timesteps": 24,
+            "real_train_steps": 25 if smoke else 60,
+            "real_train_timesteps": 8,
+        },
+        # >= the FFN FOV depth (5): the test volume's time axis is the
+        # segmentation z-axis.
+        "inference": {"real_test_timesteps": 6 if smoke else 8},
+    }
+
+    def run(overlap: bool) -> tuple[float, dict[str, float], float, str]:
+        testbed = build_nautilus_testbed(seed=seed, scale=scale)
+        workflow = build_connect_workflow(testbed, overrides=overrides)
+        report = WorkflowDriver(testbed).run(workflow, overlap=overlap)
+        if not report.succeeded:
+            raise RuntimeError(
+                f"pipelined-driver bench run failed (overlap={overlap})"
+            )
+        spans = testbed.tracer.finished_spans()
+        analysis = analyze_run(spans)
+        root = [s for s in spans if s.category == "workflow"][-1]
+        overlap_s = layer_overlap(spans, root, "compute", "transfer")
+        return (
+            analysis.total_s,
+            {k: round(v, 3) for k, v in analysis.layers.items()},
+            round(overlap_s, 3),
+            _artifact_checksum(report),
+        )
+
+    barrier_s, barrier_layers, barrier_overlap, sum_b = run(False)
+    overlap_makespan_s, overlap_layers, overlap_overlap, sum_o = run(True)
+    return BenchRecord(
+        name="pipelined_driver",
+        baseline="per-step barrier driver",
+        optimized="pipelined driver (overlap=True)",
+        baseline_seconds=barrier_s,
+        optimized_seconds=overlap_makespan_s,
+        checksum_baseline=sum_b,
+        checksum_optimized=sum_o,
+        meta={
+            "time_domain": "simulated",
+            "workflow": "connect",
+            "scale": scale,
+            "barrier": {
+                "makespan_s": round(barrier_s, 3),
+                "layers": barrier_layers,
+                "compute_transfer_overlap_s": barrier_overlap,
+            },
+            "overlap": {
+                "makespan_s": round(overlap_makespan_s, 3),
+                "layers": overlap_layers,
+                "compute_transfer_overlap_s": overlap_overlap,
+            },
         },
     )
 
@@ -344,7 +532,9 @@ def run_benchmarks(
         _bench_conv3d(smoke, repeat, seed),
         _bench_flood_fill(world, repeat),
         _bench_segment(world, repeat),
+        _bench_multiseed(world, repeat),
         _bench_distributed(world, repeat, max_workers),
+        _bench_pipelined(smoke, seed),
         _bench_loadtest(smoke, seed),
     ]
 
@@ -376,6 +566,98 @@ def write_artifact(
     return path
 
 
+def compare_artifacts(
+    old: dict,
+    new: dict,
+    threshold: float = REGRESSION_THRESHOLD,
+) -> dict:
+    """Diff two ``BENCH_*.json`` payloads; flag speedup regressions.
+
+    A benchmark **regresses** when its new speedup drops more than
+    ``threshold`` (fractionally) below the old artifact's.  Ratios, not
+    absolute times, are compared — host speed cancels out of a
+    baseline/optimized ratio measured on the same machine.
+
+    Records are **skipped** (listed with a reason, never gated on) when:
+
+    - the name exists in only one artifact (benchmark added/retired);
+    - either side is marked ``meta.degraded`` — e.g. a fan-out measured
+      on a host with fewer cores than workers;
+    - either side's ``outputs_identical`` is false (that's a
+      correctness failure, handled by the bench run itself, and its
+      timings are meaningless);
+    - both paths ran under :data:`NOISE_FLOOR_S` on either side —
+      sub-noise timings produce ratio jitter far beyond any real
+      regression (simulated-time records are exempt: they are exact).
+
+    Returns ``{"regressions": [...], "improved": [...], "ok": [...],
+    "skipped": [...]}`` — each entry a dict with the name, both
+    speedups, and (for skips) the reason.
+    """
+    old_by_name = {r["name"]: r for r in old.get("results", [])}
+    new_by_name = {r["name"]: r for r in new.get("results", [])}
+    out: dict[str, list[dict]] = {
+        "regressions": [], "improved": [], "ok": [], "skipped": [],
+    }
+
+    def _sub_noise(rec: dict) -> bool:
+        if rec.get("meta", {}).get("time_domain") == "simulated":
+            return False
+        return (
+            rec["baseline_seconds"] < NOISE_FLOOR_S
+            and rec["optimized_seconds"] < NOISE_FLOOR_S
+        )
+
+    for name in sorted(set(old_by_name) | set(new_by_name)):
+        o, n = old_by_name.get(name), new_by_name.get(name)
+        entry: dict[str, _t.Any] = {"name": name}
+        if o is None or n is None:
+            entry["reason"] = (
+                "only in new artifact" if o is None else "only in old artifact"
+            )
+            out["skipped"].append(entry)
+            continue
+        entry["old_speedup"] = o["speedup"]
+        entry["new_speedup"] = n["speedup"]
+        if o.get("meta", {}).get("degraded") or n.get("meta", {}).get("degraded"):
+            entry["reason"] = "degraded host (cpu_count < max_workers)"
+            out["skipped"].append(entry)
+        elif not (o.get("outputs_identical", True)
+                  and n.get("outputs_identical", True)):
+            entry["reason"] = "outputs not identical (correctness failure)"
+            out["skipped"].append(entry)
+        elif _sub_noise(o) or _sub_noise(n):
+            entry["reason"] = f"below {NOISE_FLOOR_S}s timing noise floor"
+            out["skipped"].append(entry)
+        elif n["speedup"] < o["speedup"] * (1.0 - threshold):
+            out["regressions"].append(entry)
+        elif n["speedup"] > o["speedup"] * (1.0 + threshold):
+            out["improved"].append(entry)
+        else:
+            out["ok"].append(entry)
+    return out
+
+
+def render_comparison(comparison: dict, old_label: str = "old") -> str:
+    """One line per benchmark: verdict, old -> new speedup, reason."""
+    lines = [f"speedup comparison vs {old_label}:"]
+    rows = (
+        [("REGRESSED", e) for e in comparison["regressions"]]
+        + [("improved", e) for e in comparison["improved"]]
+        + [("ok", e) for e in comparison["ok"]]
+        + [("skipped", e) for e in comparison["skipped"]]
+    )
+    for verdict, entry in rows:
+        ratio = (
+            f"{entry['old_speedup']:.2f}x -> {entry['new_speedup']:.2f}x"
+            if "old_speedup" in entry
+            else "-"
+        )
+        reason = f"  ({entry['reason']})" if "reason" in entry else ""
+        lines.append(f"  {verdict:<9} {entry['name']:<26} {ratio}{reason}")
+    return "\n".join(lines)
+
+
 def render_summary(records: _t.Sequence[BenchRecord]) -> str:
     """A fixed-width table of the benchmark outcomes."""
     header = (
@@ -384,9 +666,15 @@ def render_summary(records: _t.Sequence[BenchRecord]) -> str:
     )
     lines = [header, "-" * len(header)]
     for r in records:
+        notes = []
+        if r.meta.get("degraded"):
+            notes.append("degraded")
+        if r.meta.get("time_domain") == "simulated":
+            notes.append("sim-time")
+        suffix = f" [{', '.join(notes)}]" if notes else ""
         lines.append(
             f"{r.name:<26} {r.baseline_seconds:>9.3f}s "
             f"{r.optimized_seconds:>9.3f}s {r.speedup:>7.2f}x  "
-            f"{'identical' if r.outputs_identical else 'DIFFER'}"
+            f"{'identical' if r.outputs_identical else 'DIFFER'}{suffix}"
         )
     return "\n".join(lines)

@@ -153,6 +153,12 @@ def build_parser() -> argparse.ArgumentParser:
         "--out", default=".", metavar="DIR",
         help="directory for the BENCH_<date>.json artifact",
     )
+    p_bench.add_argument(
+        "--compare", default=None, metavar="FILE",
+        help="prior BENCH_*.json to diff against; exits nonzero on a "
+             ">10%% speedup regression (degraded/non-comparable records "
+             "are skipped)",
+    )
 
     p_trace = sub.add_parser(
         "trace", help="run the CONNECT workflow traced and export the spans"
@@ -164,6 +170,11 @@ def build_parser() -> argparse.ArgumentParser:
                          help="step-3 inference GPUs")
     p_trace.add_argument("--no-real-ml", action="store_true",
                          help="skip the real NumPy FFN (timing model only)")
+    p_trace.add_argument(
+        "--overlap", action="store_true",
+        help="pipelined driver: stream downloads into training instead "
+             "of barriering per step",
+    )
     p_trace.add_argument(
         "--out", default="trace.json", metavar="FILE",
         help="path for the Chrome trace-event JSON (default: trace.json)",
@@ -360,7 +371,15 @@ def _cmd_lint(args: argparse.Namespace) -> int:
 
 
 def _cmd_bench(args: argparse.Namespace) -> int:
-    from repro.bench import render_summary, run_benchmarks, write_artifact
+    import json
+
+    from repro.bench import (
+        compare_artifacts,
+        render_comparison,
+        render_summary,
+        run_benchmarks,
+        write_artifact,
+    )
 
     records = run_benchmarks(
         smoke=args.smoke,
@@ -375,6 +394,18 @@ def _cmd_bench(args: argparse.Namespace) -> int:
         print("ERROR: optimized path changed the output of at least one "
               "benchmark", file=sys.stderr)
         return 1
+    if args.compare is not None:
+        with open(args.compare, encoding="utf-8") as fh:
+            old = json.load(fh)
+        with open(path, encoding="utf-8") as fh:
+            new = json.load(fh)
+        comparison = compare_artifacts(old, new)
+        print()
+        print(render_comparison(comparison, old_label=args.compare))
+        if comparison["regressions"]:
+            print(f"ERROR: {len(comparison['regressions'])} benchmark(s) "
+                  "regressed by >10% speedup", file=sys.stderr)
+            return 1
     return 0
 
 
@@ -402,8 +433,9 @@ def _cmd_trace(args: argparse.Namespace) -> int:
             real_ml=not args.no_real_ml,
         )
         print(f"Tracing workflow {workflow.name!r} at scale={args.scale} "
-              f"({len(testbed.archive):,} granules)...")
-        report = WorkflowDriver(testbed).run(workflow)
+              f"({len(testbed.archive):,} granules"
+              f"{', pipelined' if args.overlap else ''})...")
+        report = WorkflowDriver(testbed).run(workflow, overlap=args.overlap)
 
     spans = testbed.tracer.finished_spans()
     problems = validate_spans(spans)

@@ -33,6 +33,8 @@ __all__ = [
     "ValidationError",
     "MLError",
     "ShapeError",
+    "PoolError",
+    "StreamBrokenError",
 ]
 
 
@@ -156,9 +158,29 @@ class ValidationError(WorkflowError, ValueError):
     inputs, duplicate names)."""
 
 
+class StreamBrokenError(WorkflowError):
+    """A step stream channel was closed by a failed producer (or the
+    producer's attempt was torn down for retry); the consumer should
+    fail its own attempt and retry against the producer's next attempt."""
+
+    def __init__(self, producer: str, reason: str = ""):
+        super().__init__(
+            f"stream from step {producer!r} broke"
+            + (f": {reason}" if reason else "")
+        )
+        self.producer = producer
+        self.reason = reason
+
+
 class MLError(ReproError):
     """Base class for machine-learning substrate errors."""
 
 
 class ShapeError(MLError, ValueError):
     """An array argument has an incompatible shape."""
+
+
+class PoolError(MLError):
+    """The shared-memory worker pool failed unrecoverably (all workers
+    dead, a shard raised in a worker, or the pool was used after
+    :meth:`~repro.ml.shm_pool.SharedMemoryPool.close`)."""

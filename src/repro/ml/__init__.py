@@ -36,12 +36,19 @@ from repro.ml.conv3d import (
 )
 from repro.ml.ffn import FFNConfig, FFNModel
 from repro.ml.training import FFNTrainer, TrainingReport
-from repro.ml.inference import flood_fill, segment_volume, split_shards, ShardResult
+from repro.ml.inference import (
+    flood_fill,
+    flood_fill_multi,
+    segment_volume,
+    split_shards,
+    ShardResult,
+)
 from repro.ml.distributed_inference import (
     distributed_segment,
     stitch_labels,
     ShardSegmentation,
 )
+from repro.ml.shm_pool import SharedMemoryPool, ShardSpec, ShardReceipt
 from repro.ml.connect import connect_segmentation, ConnectedObject, ConnectReport
 from repro.ml.segmetrics import (
     voxel_metrics,
@@ -71,12 +78,16 @@ __all__ = [
     "FFNTrainer",
     "TrainingReport",
     "flood_fill",
+    "flood_fill_multi",
     "segment_volume",
     "split_shards",
     "ShardResult",
     "distributed_segment",
     "stitch_labels",
     "ShardSegmentation",
+    "SharedMemoryPool",
+    "ShardSpec",
+    "ShardReceipt",
     "connect_segmentation",
     "ConnectedObject",
     "ConnectReport",

@@ -17,10 +17,14 @@ forest from :mod:`repro.ml.connect`) and is validated against the
 monolithic segmentation in the test suite.
 
 The fan-out itself runs either in-process (``max_workers=1``, the
-default) or on a ``concurrent.futures`` process pool (``max_workers>1``)
-— each worker receives its shard slice and the pickled model state, and
-results are stitched in shard order regardless of completion order, so
-the output is identical for every worker count.
+default) or on a pool of worker processes (``max_workers>1``).  The
+default pool is the zero-copy :class:`~repro.ml.shm_pool.
+SharedMemoryPool` — long-lived workers over shared numpy buffers, so
+per-task traffic is a handful of integers instead of pickled shard
+slices (``pool_mode="pickle"`` keeps the old ``concurrent.futures``
+path as the reference the shared-memory engine is benchmarked against).
+Results are stitched in shard order regardless of completion order, so
+the output is identical for every worker count and engine.
 """
 
 from __future__ import annotations
@@ -35,6 +39,7 @@ from repro.errors import ShapeError
 from repro.ml.connect import _DisjointSet
 from repro.ml.ffn import FFNModel
 from repro.ml.inference import segment_volume, split_shards
+from repro.ml.shm_pool import SharedMemoryPool, ShardSpec
 
 if _t.TYPE_CHECKING:  # pragma: no cover
     from repro.tracing.span import Span, Tracer
@@ -91,7 +96,7 @@ def _segment_shard_task(
     and in a forked/spawned worker.
     """
     (config, state, sub, lo, t0, t1, shard_index, max_objects,
-     seed_percentile, engine) = payload
+     seed_percentile, engine, seed_batch) = payload
     model = FFNModel(config)
     model.load_state_dict(state)
     local = segment_volume(
@@ -100,6 +105,7 @@ def _segment_shard_task(
         max_objects=max_objects,
         seed_percentile=seed_percentile,
         engine=engine,
+        seed_batch=seed_batch,
     )
     owned = local[t0 - lo : t1 - lo]
     compact, n_objects = _compact_labels(owned)
@@ -184,6 +190,9 @@ def distributed_segment(
     seed_percentile: float = 97.0,
     max_workers: int | None = None,
     engine: str = "batched",
+    seed_batch: int = 1,
+    pool: SharedMemoryPool | None = None,
+    pool_mode: str = "shm",
     tracer: "Tracer | None" = None,
     span_parent: "Span | None" = None,
 ) -> tuple[np.ndarray, list[ShardSegmentation]]:
@@ -196,18 +205,31 @@ def distributed_segment(
         Number of logical shards (the paper's "50 GPUs").
     max_workers:
         Degree of *actual* parallelism: ``None`` or ``1`` segments the
-        shards in-process; ``>1`` fans them out on a process pool, each
-        worker receiving its shard slice and the pickled model state.
+        shards in-process; ``>1`` fans them out across worker processes.
         Results are gathered in shard order, so the stitched output is
         identical for every ``max_workers`` value.
     engine:
         Flood-fill engine forwarded to :func:`segment_volume`.
+    seed_batch:
+        Multi-seed wavefront width forwarded to :func:`segment_volume`
+        (output is bit-identical for every value).
+    pool:
+        An already-running :class:`~repro.ml.shm_pool.SharedMemoryPool`
+        to reuse across calls (the caller keeps ownership; repeated
+        inference amortizes worker spawn to zero).  When ``None`` and
+        ``max_workers > 1``, an ephemeral pool is spun up and torn down
+        inside the call.
+    pool_mode:
+        ``"shm"`` (default) fans out on the zero-copy shared-memory
+        pool; ``"pickle"`` keeps the legacy ``concurrent.futures`` path
+        that pickles each shard slice per task — the baseline the pool
+        is benchmarked against.
     tracer, span_parent:
         Optional :class:`~repro.tracing.span.Tracer` (+ parent span):
         one ``compute`` span per shard plus a ``stitch`` span.  Spans are
         always emitted in the **parent** process in shard order (a tracer
-        does not cross the process-pool pickle boundary), so the trace is
-        identical for every ``max_workers`` value.
+        does not cross the process boundary), so the trace is identical
+        for every ``max_workers`` value and pool mode.
 
     Returns ``(global_labels, shard_outputs)``.
     """
@@ -217,27 +239,21 @@ def distributed_segment(
         raise ShapeError("halo must be >= 0")
     if max_workers is not None and max_workers < 1:
         raise ShapeError("max_workers must be >= 1")
+    if pool_mode not in ("shm", "pickle"):
+        raise ShapeError(f"unknown pool_mode {pool_mode!r}; use 'shm'/'pickle'")
     bounds = split_shards(volume.shape[0], n_workers)
     fov_t = model.config.fov[0]
-    config = model.config
-    state = model.state_dict()
-    payloads = []
+    shard_geometry = []
     for i, (t0, t1) in enumerate(bounds):
         lo, hi = _halo_bounds(volume.shape[0], t0, t1, halo, fov_t)
-        # Ship a contiguous copy of just this shard's slice (what a real
-        # worker would receive over the wire).
-        sub = np.ascontiguousarray(volume[lo:hi])
-        payloads.append(
-            (config, state, sub, lo, t0, t1, i,
-             max_objects_per_shard, seed_percentile, engine)
-        )
+        shard_geometry.append((i, lo, hi, t0, t1))
     fanout_span = None
     if tracer is not None:
         fanout_span = tracer.start(
             "distributed_segment",
             "compute",
             parent=span_parent,
-            attributes={"shards": len(payloads), "engine": engine},
+            attributes={"shards": len(shard_geometry), "engine": engine},
         )
 
     def _shard_span(index: int, t0: int, t1: int) -> "Span | None":
@@ -250,7 +266,25 @@ def distributed_segment(
             attributes={"t0": t0, "t1": t1},
         )
 
-    if max_workers is None or max_workers == 1 or len(payloads) == 1:
+    use_pool = pool is not None or (
+        max_workers is not None and max_workers > 1 and len(shard_geometry) > 1
+    )
+    # A caller-supplied pool always wins; pool_mode only picks the
+    # engine for ephemeral fan-outs.
+    use_pickle = use_pool and pool_mode == "pickle" and pool is None
+    if not use_pool or use_pickle:
+        config = model.config
+        state = model.state_dict()
+        payloads = []
+        for i, lo, hi, t0, t1 in shard_geometry:
+            # Ship a contiguous copy of just this shard's slice (what a
+            # real worker would receive over the wire).
+            sub = np.ascontiguousarray(volume[lo:hi])
+            payloads.append(
+                (config, state, sub, lo, t0, t1, i,
+                 max_objects_per_shard, seed_percentile, engine, seed_batch)
+            )
+    if not use_pool:
         shard_outputs = []
         for p in payloads:
             span = _shard_span(p[6], p[4], p[5])
@@ -258,11 +292,13 @@ def distributed_segment(
             if tracer is not None and span is not None:
                 tracer.finish(span, attributes={"objects": result.n_objects})
             shard_outputs.append(result)
-    else:
+    elif use_pickle:
         with concurrent.futures.ProcessPoolExecutor(
             max_workers=min(max_workers, len(payloads))
-        ) as pool:
-            futures = [pool.submit(_segment_shard_task, p) for p in payloads]
+        ) as executor:
+            futures = [
+                executor.submit(_segment_shard_task, p) for p in payloads
+            ]
             # Gather in submission (= shard) order: completion order is
             # nondeterministic, the stitch input must not be.
             shard_outputs = []
@@ -272,6 +308,44 @@ def distributed_segment(
                 if tracer is not None and span is not None:
                     tracer.finish(span, attributes={"objects": result.n_objects})
                 shard_outputs.append(result)
+    else:
+        specs = [
+            ShardSpec(shard_index=i, lo=lo, hi=hi, t0=t0, t1=t1)
+            for i, lo, hi, t0, t1 in shard_geometry
+        ]
+        owned_pool = pool
+        if owned_pool is None:
+            owned_pool = SharedMemoryPool(
+                model, n_workers=min(max_workers, len(specs))
+            )
+        try:
+            slabs, receipts = owned_pool.segment_shards(
+                volume,
+                specs,
+                max_objects=max_objects_per_shard,
+                seed_percentile=seed_percentile,
+                engine=engine,
+                seed_batch=seed_batch,
+            )
+        finally:
+            if pool is None:
+                owned_pool.close()
+        # Results are complete; emit shard spans in shard order with the
+        # exact start/finish interleaving of the in-process path, so the
+        # span sequence stays identical across engines and worker counts.
+        shard_outputs = []
+        for spec, slab, receipt in zip(specs, slabs, receipts):
+            span = _shard_span(spec.shard_index, spec.t0, spec.t1)
+            result = ShardSegmentation(
+                shard_index=spec.shard_index,
+                t0=spec.t0,
+                t1=spec.t1,
+                labels=slab,
+                n_objects=receipt.n_objects,
+            )
+            if tracer is not None and span is not None:
+                tracer.finish(span, attributes={"objects": result.n_objects})
+            shard_outputs.append(result)
     if tracer is None:
         stitched = stitch_labels(shard_outputs)
     else:

@@ -36,7 +36,13 @@ from repro.ml.ffn import FFNModel, sigmoid
 if _t.TYPE_CHECKING:  # pragma: no cover
     from repro.tracing.span import Span, Tracer
 
-__all__ = ["flood_fill", "segment_volume", "split_shards", "ShardResult"]
+__all__ = [
+    "flood_fill",
+    "flood_fill_multi",
+    "segment_volume",
+    "split_shards",
+    "ShardResult",
+]
 
 #: Saturation range for mask logits during flood filling.
 _LOGIT_CLIP = (-16.0, 16.0)
@@ -52,6 +58,76 @@ def _normalize(volume: np.ndarray) -> np.ndarray:
     if std == 0:
         return np.zeros_like(v)
     return (v - v.mean()) / std
+
+
+def _eval_frontier(
+    model: FFNModel,
+    img_patches: list[np.ndarray],
+    mask_patches: list[np.ndarray],
+    engine: str,
+):
+    """Evaluate one frontier's patches; returns ``(outs, face_max)``.
+
+    ``outs[i]`` is patch *i*'s clipped mask logits; ``face_max[i, axis,
+    side]`` is the max object probability on that patch's low (side=0) /
+    high (side=1) face along ``axis``.  The ``"batched"`` engine stacks
+    everything into one FFN forward; ``"serial"`` runs the same patches
+    one at a time.  Per-patch results are bit-identical between engines
+    (and regardless of what else shares the stack — the property the
+    multi-seed wavefront relies on).
+    """
+    if engine == "batched":
+        # One batched forward for the whole frontier; clip, sigmoid,
+        # and the six face maxima all run stacked too (elementwise /
+        # per-row reductions, so bit-identical to per-patch).
+        stacked = model.forward_batch(
+            np.stack(img_patches), np.stack(mask_patches)
+        )
+        # Clip to keep repeated FOV visits from blowing up float32
+        # (the reference FFN also saturates its mask logits).
+        np.clip(stacked, _LOGIT_CLIP[0], _LOGIT_CLIP[1], out=stacked)
+        probs = sigmoid(stacked)
+        # face_max[i, axis, j]: max prob on patch i's low (j=0) /
+        # high (j=1) face along axis.
+        face_max = np.stack(
+            [
+                np.stack(
+                    [
+                        probs[(slice(None),) * (1 + axis) + (0,)].max(
+                            axis=(1, 2)
+                        ),
+                        probs[(slice(None),) * (1 + axis) + (-1,)].max(
+                            axis=(1, 2)
+                        ),
+                    ],
+                    axis=1,
+                )
+                for axis in range(3)
+            ],
+            axis=1,
+        )
+        return stacked, face_max
+    # Reference path: same frontier, one unbatched forward each.
+    # np.stack inside forward copies the inputs, so all reads complete
+    # before the caller's write-back mutates any mask.
+    outs = []
+    face_rows = []
+    for img, msk in zip(img_patches, mask_patches):
+        patch_logits = model.forward(img, np.array(msk))
+        np.clip(patch_logits, _LOGIT_CLIP[0], _LOGIT_CLIP[1],
+                out=patch_logits)
+        p = sigmoid(patch_logits)
+        face_rows.append(
+            [
+                [
+                    p[(slice(None),) * axis + (0,)].max(),
+                    p[(slice(None),) * axis + (-1,)].max(),
+                ]
+                for axis in range(3)
+            ]
+        )
+        outs.append(patch_logits)
+    return outs, np.array(face_rows)
 
 
 def flood_fill(
@@ -188,59 +264,7 @@ def flood_fill(
             for center, slc in zip(frontier, slices_list)
         ]
         mask_patches = [mask[slc] for slc in slices_list]
-        if engine == "batched":
-            # One batched forward for the whole frontier; clip, sigmoid,
-            # and the six face maxima all run stacked too (elementwise /
-            # per-row reductions, so bit-identical to per-patch).
-            stacked = model.forward_batch(
-                np.stack(img_patches), np.stack(mask_patches)
-            )
-            # Clip to keep repeated FOV visits from blowing up float32
-            # (the reference FFN also saturates its mask logits).
-            np.clip(stacked, _LOGIT_CLIP[0], _LOGIT_CLIP[1], out=stacked)
-            probs = sigmoid(stacked)
-            # face_max[i, axis, j]: max prob on patch i's low (j=0) /
-            # high (j=1) face along axis.
-            face_max = np.stack(
-                [
-                    np.stack(
-                        [
-                            probs[(slice(None),) * (1 + axis) + (0,)].max(
-                                axis=(1, 2)
-                            ),
-                            probs[(slice(None),) * (1 + axis) + (-1,)].max(
-                                axis=(1, 2)
-                            ),
-                        ],
-                        axis=1,
-                    )
-                    for axis in range(3)
-                ],
-                axis=1,
-            )
-            outs = stacked
-        else:
-            # Reference path: same frontier, one unbatched forward each.
-            # np.stack inside forward copies the inputs, so all reads
-            # complete before the write-back below mutates the mask.
-            outs = []
-            face_rows = []
-            for img, msk in zip(img_patches, mask_patches):
-                patch_logits = model.forward(img, np.array(msk))
-                np.clip(patch_logits, _LOGIT_CLIP[0], _LOGIT_CLIP[1],
-                        out=patch_logits)
-                p = sigmoid(patch_logits)
-                face_rows.append(
-                    [
-                        [
-                            p[(slice(None),) * axis + (0,)].max(),
-                            p[(slice(None),) * axis + (-1,)].max(),
-                        ]
-                        for axis in range(3)
-                    ]
-                )
-                outs.append(patch_logits)
-            face_max = np.array(face_rows)
+        outs, face_max = _eval_frontier(model, img_patches, mask_patches, engine)
         # Deterministic last-writer-wins write-back in frontier order.
         for slc, patch_logits in zip(slices_list, outs):
             mask[slc] = patch_logits
@@ -264,6 +288,162 @@ def flood_fill(
     return sigmoid(mask)
 
 
+def flood_fill_multi(
+    model: FFNModel,
+    volume: np.ndarray,
+    seeds: _t.Sequence[tuple[int, int, int]],
+    max_steps: int = 256,
+    normalized: bool = False,
+    engine: str = "batched",
+    window_cache: dict | None = None,
+    tracer: "Tracer | None" = None,
+    span_parent: "Span | None" = None,
+) -> list[np.ndarray]:
+    """Flood several seeds as one merged wavefront; one result per seed.
+
+    Each seed grows its **own** independent flood (own mask, own visited
+    set, own step budget) — floods never read each other's state — but
+    every wave stacks *all* live floods' frontier patches into a single
+    ``forward_batch``, so the GEMM stays fat even when individual
+    frontiers are thin.  Because :meth:`FFNModel.forward_batch` is
+    per-item bit-identical to the unbatched forward, each flood's output
+    is **bit-identical** to running :func:`flood_fill` on its seed alone
+    — the parity suite asserts exactly that.
+
+    Span schema: one ``compute`` span named ``flood_fill_multi`` for the
+    batch, with one child ``compute`` span per merged wave
+    (``wave:{i}``, attributes ``patches`` = stacked batch size and
+    ``floods`` = live flood count).
+
+    Returns a list of probability volumes in seed order (same contract
+    as :func:`flood_fill`).
+    """
+    if engine not in _ENGINES:
+        raise MLError(f"unknown flood-fill engine {engine!r}; use {_ENGINES}")
+    cfg = model.config
+    fov = np.array(cfg.fov)
+    half = fov // 2
+    vol_shape = np.array(volume.shape)
+    if volume.ndim != 3:
+        raise ShapeError(f"volume must be 3-D, got {volume.shape}")
+    if np.any(vol_shape < fov):
+        raise ShapeError(f"volume {volume.shape} smaller than FOV {cfg.fov}")
+    seed_arrs = [np.array(seed) for seed in seeds]
+    for seed, seed_arr in zip(seeds, seed_arrs):
+        if np.any(seed_arr < 0) or np.any(seed_arr >= vol_shape):
+            raise ShapeError(f"seed {tuple(seed)} outside volume {volume.shape}")
+    if not seed_arrs:
+        return []
+
+    image = volume if normalized else _normalize(volume)
+    if window_cache is None:
+        window_cache = {}
+    lo_bound = half
+    hi_bound = vol_shape - half - 1
+
+    def clamp_center(center: np.ndarray) -> tuple:
+        return tuple(int(v) for v in np.clip(center, lo_bound, hi_bound))
+
+    def image_window(center: tuple, slices: tuple) -> np.ndarray:
+        win = window_cache.get(center)
+        if win is None:
+            win = np.ascontiguousarray(image[slices])
+            window_cache[center] = win
+        return win
+
+    multi_span = None
+    if tracer is not None:
+        multi_span = tracer.start(
+            "flood_fill_multi",
+            "compute",
+            parent=span_parent,
+            attributes={
+                "seeds": [[int(v) for v in s] for s in seed_arrs],
+                "engine": engine,
+            },
+        )
+
+    n = len(seed_arrs)
+    masks = []
+    for seed_arr in seed_arrs:
+        mask = np.full(volume.shape, cfg.init_logit, dtype=np.float32)
+        mask[tuple(seed_arr)] = cfg.seed_logit
+        masks.append(mask)
+    visited: list[set[tuple]] = [set() for _ in range(n)]
+    pending: list[deque[tuple]] = [
+        deque([clamp_center(seed_arr)]) for seed_arr in seed_arrs
+    ]
+    steps = [0] * n
+    wave_index = 0
+    while True:
+        # Per flood: drain its whole frontier exactly as flood_fill does
+        # (ordered, deduplicated, unvisited, truncated to its budget).
+        waves: list[tuple[int, list[tuple], list[tuple]]] = []
+        for fi in range(n):
+            if not pending[fi] or steps[fi] >= max_steps:
+                continue
+            frontier: list[tuple] = []
+            seen: set[tuple] = set()
+            while pending[fi]:
+                center = pending[fi].popleft()
+                if center in visited[fi] or center in seen:
+                    continue
+                seen.add(center)
+                frontier.append(center)
+            if steps[fi] + len(frontier) > max_steps:
+                frontier = frontier[: max_steps - steps[fi]]
+            if not frontier:
+                continue
+            steps[fi] += len(frontier)
+            visited[fi].update(frontier)
+            slices_list = [
+                tuple(slice(c - h, c + h + 1) for c, h in zip(center, half))
+                for center in frontier
+            ]
+            waves.append((fi, frontier, slices_list))
+        if not waves:
+            break
+        # Stack every live flood's frontier into ONE forward batch.
+        img_patches: list[np.ndarray] = []
+        mask_patches: list[np.ndarray] = []
+        for fi, frontier, slices_list in waves:
+            for center, slc in zip(frontier, slices_list):
+                img_patches.append(image_window(center, slc))
+                mask_patches.append(masks[fi][slc])
+        wave_span = None
+        if tracer is not None:
+            wave_span = tracer.start(
+                f"wave:{wave_index}",
+                "compute",
+                parent=multi_span,
+                attributes={"patches": len(img_patches), "floods": len(waves)},
+            )
+        wave_index += 1
+        outs, face_max = _eval_frontier(model, img_patches, mask_patches, engine)
+        # Write back + expand per flood, each in its own frontier order —
+        # identical to what flood_fill would do with that flood alone.
+        offset = 0
+        for fi, frontier, slices_list in waves:
+            for j, slc in enumerate(slices_list):
+                masks[fi][slc] = outs[offset + j]
+            for j, center in enumerate(frontier):
+                for axis in range(3):
+                    for direction in (-1, 1):
+                        side = 0 if direction == -1 else 1
+                        if face_max[offset + j, axis, side] >= cfg.move_threshold:
+                            nxt = np.array(center)
+                            nxt[axis] += direction * half[axis]
+                            nxt_t = clamp_center(nxt)
+                            if nxt_t not in visited[fi]:
+                                pending[fi].append(nxt_t)
+            offset += len(frontier)
+        if tracer is not None and wave_span is not None:
+            tracer.finish(wave_span)
+    if tracer is not None and multi_span is not None:
+        tracer.finish(multi_span, attributes={"steps": steps})
+    return [sigmoid(mask) for mask in masks]
+
+
 def segment_volume(
     model: FFNModel,
     volume: np.ndarray,
@@ -271,6 +451,7 @@ def segment_volume(
     seed_percentile: float = 97.0,
     max_steps_per_object: int = 256,
     engine: str = "batched",
+    seed_batch: int = 1,
     tracer: "Tracer | None" = None,
     span_parent: "Span | None" = None,
 ) -> np.ndarray:
@@ -283,18 +464,36 @@ def segment_volume(
     across floods, so centers revisited by later objects skip the window
     extraction.
 
+    ``seed_batch > 1`` floods up to that many seeds **speculatively** in
+    one merged wavefront (:func:`flood_fill_multi`), keeping the FFN
+    batch dimension fat when individual frontiers are thin.  Speculation
+    is safe because a flood depends only on the image and its seed,
+    never on ``labels``: results are *committed* strictly in the serial
+    candidate order with the serial path's exact skip/reject rules, so a
+    batch member whose seed gets claimed by an earlier commit is simply
+    discarded — wasted compute, never a changed output.  To keep that
+    waste low, gathering prefers seeds at least one FOV apart (brightness
+    ranks cluster inside a single object); which seeds flood together
+    changes only the timing, so the label volume is **bit-identical**
+    for every ``seed_batch`` value.
+
     Returns
     -------
     An int32 label volume: 0 = background, 1..N = object ids.
     """
+    if seed_batch < 1:
+        raise ShapeError("seed_batch must be >= 1")
     labels = np.zeros(volume.shape, dtype=np.int32)
     segment_span = None
     if tracer is not None:
+        attributes = {"shape": list(volume.shape), "engine": engine}
+        if seed_batch > 1:
+            attributes["seed_batch"] = seed_batch
         segment_span = tracer.start(
             "segment_volume",
             "compute",
             parent=span_parent,
-            attributes={"shape": list(volume.shape), "engine": engine},
+            attributes=attributes,
         )
     image = _normalize(volume)
     threshold_value = np.percentile(volume, seed_percentile)
@@ -304,27 +503,85 @@ def segment_volume(
     candidates = candidates[order]
     next_id = 1
     window_cache: dict = {}
-    for voxel in map(tuple, candidates):
-        if next_id > max_objects:
-            break
-        if labels[voxel] != 0:
-            continue
-        probs = flood_fill(
-            model,
-            image,
-            voxel,
-            max_steps=max_steps_per_object,
-            normalized=True,
-            engine=engine,
-            window_cache=window_cache,
-            tracer=tracer,
-            span_parent=segment_span,
-        )
-        obj = (probs >= model.config.segment_threshold) & (labels == 0)
-        if obj.sum() < 2:  # reject degenerate single-voxel floods
-            continue
-        labels[obj] = next_id
-        next_id += 1
+    if seed_batch == 1:
+        for voxel in map(tuple, candidates):
+            if next_id > max_objects:
+                break
+            if labels[voxel] != 0:
+                continue
+            probs = flood_fill(
+                model,
+                image,
+                voxel,
+                max_steps=max_steps_per_object,
+                normalized=True,
+                engine=engine,
+                window_cache=window_cache,
+                tracer=tracer,
+                span_parent=segment_span,
+            )
+            obj = (probs >= model.config.segment_threshold) & (labels == 0)
+            if obj.sum() < 2:  # reject degenerate single-voxel floods
+                continue
+            labels[obj] = next_id
+            next_id += 1
+    else:
+        voxels = [tuple(v) for v in candidates]
+        n = len(voxels)
+        # Gather-time diversity: candidate brightness ranks cluster
+        # inside one object, and two seeds of the same object cost a
+        # whole wasted flood (the first commit claims the second seed).
+        # Batch members are therefore kept at least a FOV apart; a
+        # skipped candidate stays in the queue and is usually claimed by
+        # the time the cursor reaches it.
+        min_sep = max(model.config.fov)
+        flooded: dict[int, np.ndarray] = {}
+        pos = 0
+        while pos < n and next_id <= max_objects:
+            if labels[voxels[pos]] != 0:  # claimed by an earlier commit
+                flooded.pop(pos, None)
+                pos += 1
+                continue
+            if pos not in flooded:
+                # Flood the cursor seed plus up to seed_batch-1 diverse,
+                # currently-unclaimed seeds ahead of it in one merged
+                # wavefront.
+                batch = [pos]
+                for j in range(pos + 1, n):
+                    if len(batch) == seed_batch:
+                        break
+                    if j in flooded or labels[voxels[j]] != 0:
+                        continue
+                    if any(
+                        max(
+                            abs(a - b)
+                            for a, b in zip(voxels[j], voxels[k])
+                        ) < min_sep
+                        for k in batch
+                    ):
+                        continue
+                    batch.append(j)
+                probs_list = flood_fill_multi(
+                    model,
+                    image,
+                    [voxels[j] for j in batch],
+                    max_steps=max_steps_per_object,
+                    normalized=True,
+                    engine=engine,
+                    window_cache=window_cache,
+                    tracer=tracer,
+                    span_parent=segment_span,
+                )
+                for j, probs in zip(batch, probs_list):
+                    flooded[j] = probs
+            # Commit the cursor's flood with the serial rules verbatim.
+            probs = flooded.pop(pos)
+            pos += 1
+            obj = (probs >= model.config.segment_threshold) & (labels == 0)
+            if obj.sum() < 2:  # reject degenerate single-voxel floods
+                continue
+            labels[obj] = next_id
+            next_id += 1
     if tracer is not None and segment_span is not None:
         tracer.finish(segment_span, attributes={"objects": next_id - 1})
     return labels

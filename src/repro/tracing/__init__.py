@@ -32,6 +32,7 @@ from repro.tracing.critical_path import (
     analyze_run,
     attribute_layers,
     critical_chain,
+    layer_overlap,
 )
 from repro.tracing.export import (
     spans_to_metrics,
@@ -50,6 +51,7 @@ __all__ = [
     "analyze_run",
     "attribute_layers",
     "critical_chain",
+    "layer_overlap",
     "spans_to_metrics",
     "to_chrome_trace",
     "validate_trace",

@@ -28,6 +28,7 @@ __all__ = [
     "analyze_run",
     "attribute_layers",
     "critical_chain",
+    "layer_overlap",
 ]
 
 #: Attribution bucket for root time no layer span covers (driver logic,
@@ -194,6 +195,55 @@ def attribute_layers(
         else:
             totals[ORCHESTRATION] += b - a
     return totals
+
+
+def layer_overlap(
+    spans: _t.Sequence[Span],
+    root: Span,
+    a: str = "compute",
+    b: str = "transfer",
+) -> float:
+    """Seconds inside the root window where layers ``a`` and ``b`` both
+    have a span active.
+
+    :func:`attribute_layers` deliberately hides overlap: precedence
+    charges each instant to exactly one layer.  This is the complementary
+    measurement — how much wall time two layers spent running
+    *simultaneously*.  A barrier-driven workflow shows ``compute`` /
+    ``transfer`` overlap only inside individual steps; the pipelined
+    driver's whole point is to grow this number across step boundaries
+    (training compute over download transfer), so the bench asserts on
+    it directly.
+
+    Uses the same clipping and malformed-span rules as
+    :func:`attribute_layers`, so the result is comparable with (and never
+    exceeds) the partition's per-layer totals.
+    """
+    root_end = _effective_end(spans, root)
+    intervals: list[tuple[float, float, str]] = []
+    for span in spans:
+        if span.category not in (a, b) or span.end is None:
+            continue
+        if span.end < span.start:
+            continue
+        lo = max(span.start, root.start)
+        hi = min(span.end, root_end)
+        if hi > lo:
+            intervals.append((lo, hi, span.category))
+
+    points = sorted(
+        {lo for lo, _hi, _c in intervals} | {hi for _lo, hi, _c in intervals}
+    )
+    total = 0.0
+    for lo, hi in zip(points, points[1:]):
+        covering = {
+            category
+            for ilo, ihi, category in intervals
+            if ilo <= lo and ihi >= hi
+        }
+        if a in covering and b in covering:
+            total += hi - lo
+    return total
 
 
 def analyze_run(

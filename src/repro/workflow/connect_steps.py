@@ -101,6 +101,12 @@ class DownloadStep(WorkflowStep):
 
     network_bound = True  # WAN transfers from the THREDDS origin
 
+    #: In overlap mode the step streams: content materialization runs
+    #: concurrently with the worker job and fires the ``content-ready``
+    #: milestone the moment the training inputs are on CephFS — long
+    #: before the last worker drains its WAN transfer queue.
+    streams_output = True
+
     default_params: dict[str, object] = {
         "n_workers": 10,
         "connections": 20,
@@ -292,14 +298,68 @@ class DownloadStep(WorkflowStep):
             ),
             namespace=ctx.namespace,
         )
+        # Pipelined mode: materialize the training inputs CONCURRENTLY
+        # with the worker job and announce them on the stream, so the
+        # training step can start while the transfer tail is still
+        # running.  Barrier mode keeps the sequential order (job, then
+        # materialization) — byte-identical to previous releases.
+        stream = ctx.stream_out()
+        mat_proc = None
+        content_box: dict[str, object] = {}
+        if stream is not None:
+
+            def materialize_streaming():
+                result = yield from self._materialize(ctx, subset_vars, policy)
+                content_box.update(result)
+                if result:
+                    stream.mark("content-ready", dict(result))
+
+            mat_proc = env.process(
+                materialize_streaming(), name=f"{ctx.namespace}-materialize"
+            )
+            # The join below consumes any failure; don't crash the run
+            # if materialization breaks while we wait on the job.
+            mat_proc.defuse()
         try:
             yield job.completion_event
+        except BaseException:
+            if mat_proc is not None and mat_proc.is_alive:
+                mat_proc.interrupt("download attempt torn down")
+            raise
         finally:
             done_event.succeed()
 
-        # Content path: real arrays through the subset service -> IVT ->
-        # the shared store.  This is the actual data the training step
-        # reads back out of Ceph.
+        if mat_proc is not None:
+            yield mat_proc  # join (re-raises a materialization failure)
+            content = content_box
+        else:
+            content = yield from self._materialize(ctx, subset_vars, policy)
+
+        ctx.report.data_processed_bytes = bytes_downloaded[0]
+        ctx.report.artifacts.update(
+            {
+                "merged_objects": sorted(merged_objects),
+                "pool": pool,
+                "files_downloaded": len(tb.archive),
+                "bytes_downloaded": bytes_downloaded[0],
+                "queue_acked": queue.acked_total,
+                "queue_requeued": queue.requeued_total,
+                **content,
+            }
+        )
+
+    def _materialize(self, ctx: StepContext, subset_vars, policy):
+        """Content path: real arrays through the subset service -> IVT ->
+        the shared store.  This is the actual data the training step
+        reads back out of Ceph.  A generator; returns the content
+        artifact dict ({} when materialization is disabled).  Its RNG
+        stream is derived independently of the worker pods', so the
+        produced bytes are identical whether it runs after the worker
+        job (barrier) or concurrently with it (overlap).
+        """
+        tb = ctx.testbed
+        env = tb.env
+        p = ctx.params
         content: dict[str, object] = {}
         nt = min(int(p["materialize_timesteps"]), len(tb.archive))
         if nt > 0 and tb.thredds.generator is not None:
@@ -351,25 +411,18 @@ class DownloadStep(WorkflowStep):
                 "content_labels_path": labels_path,
                 "content_timesteps": nt,
             }
-
-        ctx.report.data_processed_bytes = bytes_downloaded[0]
-        ctx.report.artifacts.update(
-            {
-                "merged_objects": sorted(merged_objects),
-                "pool": pool,
-                "files_downloaded": len(tb.archive),
-                "bytes_downloaded": bytes_downloaded[0],
-                "queue_acked": queue.acked_total,
-                "queue_requeued": queue.requeued_total,
-                **content,
-            }
-        )
+        return content
 
 
 class TrainingStep(WorkflowStep):
     """Step 2: FFN training on one GPU (data prep + SGD + checkpoint)."""
 
     base_gpus = 1  # one 1080ti trainer pod (§III-B)
+
+    #: In overlap mode, start as soon as the download step is *running*
+    #: and block on its ``content-ready`` milestone instead of on the
+    #: whole-step barrier (the download's WAN tail overlaps training).
+    stream_inputs = ("download",)
 
     default_params: dict[str, object] = {
         "train_timesteps": 240,  # 30 days of 3-hourly data (§III-B)
@@ -420,6 +473,17 @@ class TrainingStep(WorkflowStep):
                 gen = tb.merra_generator()
                 nt = int(p["real_train_timesteps"])
                 download_art = ctx.artifacts.get("download", {})
+                if not download_art:
+                    # Pipelined mode: the download step is still running.
+                    # Wait for its content milestone (a queueing interval
+                    # in the time partition), not for the whole step.
+                    chan = ctx.stream_in("download")
+                    if chan is not None:
+                        with ctx.trace("wait-content-stream", "queueing"):
+                            payload = yield from chan.wait_milestone(
+                                "content-ready", default=None
+                            )
+                        download_art = dict(payload) if payload else {}
                 volume_path = download_art.get("content_volume_path")
                 if volume_path and tb.cephfs.exists(str(volume_path)):
                     volume = np.asarray(

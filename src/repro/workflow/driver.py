@@ -18,6 +18,7 @@ from repro.cluster.pod import Pod, PodPhase
 from repro.errors import ProcessKilled, StepFailedError, StepTimeoutError, WorkflowError
 from repro.testbed import NautilusTestbed
 from repro.workflow.step import StepContext, StepReport
+from repro.workflow.stream import StreamChannel
 from repro.workflow.workflow import Workflow
 
 if _t.TYPE_CHECKING:  # pragma: no cover - import cycle guard
@@ -140,6 +141,7 @@ class WorkflowDriver:
         resume_from: "WorkflowCheckpoint | None" = None,
         deadline_s: float | None = None,
         degradation: "DegradationPolicy | None" = None,
+        overlap: bool = False,
     ) -> WorkflowReport:
         """Execute the workflow and return the report.
 
@@ -173,6 +175,16 @@ class WorkflowDriver:
             are skipped (``skipped=True`` in their reports) and steps
             that consult :meth:`~repro.workflow.step.StepContext.
             effective_fanout` get a coarser shard fan-out.
+        overlap:
+            Pipelined launch: a step may start while a dependency is
+            still **running**, provided that dependency is listed in the
+            step's ``stream_inputs`` and declares ``streams_output``.
+            The consumer blocks on the producer's
+            :class:`~repro.workflow.stream.StreamChannel` (items /
+            milestones) instead of its completion barrier, overlapping
+            the producer's transfer tail with downstream compute.
+            ``False`` (the default) keeps the strict per-step barrier —
+            byte-identical behavior to previous releases.
         """
         env = self.testbed.env
         start = env.now
@@ -187,6 +199,8 @@ class WorkflowDriver:
         reports: list[StepReport] = []
         reports_by_name: dict[str, StepReport] = {}
         artifacts: dict[str, dict] = {}
+        # Live stream channels by producer step name (overlap mode only).
+        streams: dict[str, StreamChannel] = {}
 
         resumed_done: set[str] = set()
         if resume_from is not None:
@@ -238,11 +252,21 @@ class WorkflowDriver:
                 namespace=namespace,
                 span=step_span,
                 degradation=degradation,
+                streams=streams if overlap else None,
             )
+            produces_stream = overlap and getattr(step, "streams_output", False)
             report.start_time = env.now
             error: str | None = None
             try:
                 for attempt in range(step.max_retries + 1):
+                    if produces_stream and attempt > 0:
+                        # The retry attempt streams into a fresh channel;
+                        # consumers blocked on the old one follow the
+                        # supersession link transparently.
+                        stale = streams.get(step.name)
+                        streams[step.name] = StreamChannel(env, step.name)
+                        if stale is not None:
+                            stale.supersede(streams[step.name])
                     attempt_proc = env.process(
                         step.execute(ctx),
                         name=f"step:{step.name}#{attempt}",
@@ -274,6 +298,10 @@ class WorkflowDriver:
                             attempt_proc.interrupt("workflow cancelled")
                         report.succeeded = False
                         report.error = "cancelled"
+                        if produces_stream:
+                            chan = streams.get(step.name)
+                            if chan is not None:
+                                chan.close(error="cancelled")
                         raise
                     except Exception as exc:  # noqa: BLE001
                         report.succeeded = False
@@ -304,6 +332,13 @@ class WorkflowDriver:
             artifacts[step.name] = dict(report.artifacts)
             if error is None and checkpoint is not None:
                 checkpoint.record(report, artifacts[step.name])
+            if produces_stream:
+                # Close AFTER artifacts are published: consumers woken by
+                # a clean close fall back to the completed step's
+                # artifacts and must find them.
+                chan = streams.get(step.name)
+                if chan is not None:
+                    chan.close(error=error)
             return (step.name, error)
 
         def _run_all():
@@ -311,9 +346,23 @@ class WorkflowDriver:
             running: dict[str, object] = {}
             done: set[str] = set(resumed_done)
             failed: set[str] = set()
+
+            def _dep_satisfied(step, dep: str) -> bool:
+                """Barrier rule, or (overlap mode) producer-is-streaming."""
+                if dep in done:
+                    return True
+                if not overlap or dep not in running:
+                    return False
+                producer = workflow.steps[dep]
+                return (
+                    getattr(producer, "streams_output", False)
+                    and dep in getattr(step, "stream_inputs", ())
+                )
+
             try:
                 while pending or running:
-                    # Launch every step whose dependencies have succeeded.
+                    # Launch every step whose dependencies have succeeded
+                    # (or, in overlap mode, are streaming).
                     for name in list(pending):
                         if name in done:  # restored from resume_from
                             pending.remove(name)
@@ -322,7 +371,10 @@ class WorkflowDriver:
                         if any(dep in failed for dep in step.depends_on):
                             pending.remove(name)  # upstream failed: skip
                             continue
-                        if all(dep in done for dep in step.depends_on):
+                        if all(
+                            _dep_satisfied(step, dep)
+                            for dep in step.depends_on
+                        ):
                             pending.remove(name)
                             if degradation is not None and degradation.should_skip(
                                 step
@@ -348,6 +400,10 @@ class WorkflowDriver:
                             report = StepReport(name=name)
                             reports.append(report)
                             reports_by_name[name] = report
+                            if overlap and getattr(step, "streams_output", False):
+                                # Channel exists from launch, so consumers
+                                # started in this same pass can resolve it.
+                                streams[name] = StreamChannel(env, name)
                             running[name] = env.process(
                                 _run_step(step), name=f"step-runner:{name}"
                             )

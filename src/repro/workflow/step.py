@@ -159,6 +159,7 @@ class StepContext:
         namespace: str,
         span: "Span | None" = None,
         degradation: object | None = None,
+        streams: dict | None = None,
     ):
         self.testbed = testbed
         self.params = params
@@ -170,6 +171,25 @@ class StepContext:
         #: the run's :class:`~repro.workflow.degradation.
         #: DegradationPolicy`, or None when degradation is off
         self.degradation = degradation
+        #: live stream channels by producer step name — populated only
+        #: when the driver runs with ``overlap=True``
+        self._streams = streams
+
+    def stream_out(self):
+        """This step's own :class:`~repro.workflow.stream.StreamChannel`
+        (producer side), or None when the driver is in barrier mode or
+        the step does not declare ``streams_output``."""
+        if self._streams is None:
+            return None
+        return self._streams.get(self.report.name)
+
+    def stream_in(self, producer: str):
+        """The named producer's live channel (consumer side), or None in
+        barrier mode / when the producer was skipped.  Wait on it with
+        ``yield from chan.wait_milestone(...)`` or ``chan.next_item``."""
+        if self._streams is None:
+            return None
+        return self._streams.get(producer)
 
     def effective_fanout(self, requested: int) -> int:
         """Shard fan-out after graceful degradation (identity when off)."""
@@ -240,6 +260,18 @@ class WorkflowStep:
     #: Subclass hook: GPUs the step occupies when ``params`` carry no
     #: explicit ``n_gpus``/``gpus`` count (see :meth:`gpu_demand`).
     base_gpus: int = 0
+
+    #: Subclass hook: the step produces a
+    #: :class:`~repro.workflow.stream.StreamChannel` of items/milestones
+    #: while running, so downstream ``stream_inputs`` consumers may
+    #: start before it finishes (driver ``overlap=True``).
+    streams_output: bool = False
+
+    #: Subclass hook: dependency names this step can consume *as a
+    #: stream* — in overlap mode these dependencies only need to be
+    #: launched, not finished, for this step to start.  Every name must
+    #: also appear in ``depends_on``.
+    stream_inputs: tuple[str, ...] = ()
 
     def __init__(
         self,

@@ -199,6 +199,48 @@ class TestFloodFillEngineParity:
             flood_fill(trained, vol, (6, 8, 8), engine="gpu")
 
 
+class TestMultiSeedWavefrontParity:
+    def test_flood_fill_multi_rows_equal_individual_floods(self, trained):
+        from repro.ml.inference import flood_fill_multi
+
+        vol, _ = blob_volume(
+            shape=(14, 18, 18), centers=((7, 9, 9), (7, 4, 13)), seed=3
+        )
+        seeds = [(7, 9, 9), (7, 4, 13), (2, 2, 2)]
+        multi = flood_fill_multi(trained, vol, seeds)
+        for seed_voxel, merged in zip(seeds, multi):
+            alone = flood_fill(trained, vol, seed_voxel)
+            np.testing.assert_array_equal(merged, alone)
+
+    @pytest.mark.parametrize("seed_batch", [2, 4, 9])
+    def test_segment_volume_seed_batch_bit_identical(self, trained,
+                                                     seed_batch):
+        vol, _ = blob_volume(
+            shape=(12, 16, 28), centers=((6, 8, 7), (6, 8, 21)), seed=5
+        )
+        reference = segment_volume(trained, vol, max_objects=8)
+        np.testing.assert_array_equal(
+            segment_volume(trained, vol, max_objects=8,
+                           seed_batch=seed_batch),
+            reference,
+        )
+
+    def test_seed_batch_parity_on_serial_engine(self, trained):
+        vol, _ = blob_volume(
+            shape=(12, 16, 28), centers=((6, 8, 7), (6, 8, 21)), seed=7
+        )
+        np.testing.assert_array_equal(
+            segment_volume(trained, vol, max_objects=8, engine="serial",
+                           seed_batch=3),
+            segment_volume(trained, vol, max_objects=8, engine="serial"),
+        )
+
+    def test_seed_batch_validation(self, trained):
+        vol, _ = blob_volume()
+        with pytest.raises(MLError):
+            segment_volume(trained, vol, seed_batch=0)
+
+
 class TestDistributedWorkerParity:
     @pytest.fixture(scope="class")
     def world(self, trained):

@@ -1,6 +1,7 @@
 """Tests for the macro-benchmark harness and its CLI entry point."""
 
 import json
+import os
 
 import numpy as np
 import pytest
@@ -8,6 +9,8 @@ import pytest
 from repro.bench import (
     BenchRecord,
     benchmark_world,
+    compare_artifacts,
+    render_comparison,
     render_summary,
     run_benchmarks,
     write_artifact,
@@ -27,7 +30,9 @@ class TestBenchRecords:
             "conv3d_batched",
             "flood_fill_wavefront",
             "segment_volume_wavefront",
+            "multiseed_wavefront",
             "distributed_fanout",
+            "pipelined_driver",
             "control_plane_loadtest",
         ]
 
@@ -95,3 +100,169 @@ class TestBenchCLI:
         assert args.smoke is False
         assert args.repeat == 2
         assert args.out == "."
+        assert args.compare is None
+
+
+class TestFanoutDegradedMarking:
+    def test_effective_parallelism_and_degraded_recorded(self, smoke_records):
+        record = next(r for r in smoke_records if r.name == "distributed_fanout")
+        meta = record.meta
+        cpu_count = os.cpu_count() or 1
+        assert meta["cpu_count"] == cpu_count
+        assert meta["effective_parallelism"] == min(
+            meta["max_workers"], cpu_count, meta["n_shards"]
+        )
+        assert meta["degraded"] is (cpu_count < meta["max_workers"])
+        assert meta["pool"] == "shm-persistent"
+
+
+class TestPipelinedRecord:
+    def test_simulated_makespan_shrinks_with_overlap_visible(
+        self, smoke_records
+    ):
+        record = next(r for r in smoke_records if r.name == "pipelined_driver")
+        assert record.outputs_identical  # overlap must not change artifacts
+        meta = record.meta
+        assert meta["time_domain"] == "simulated"
+        barrier, overlap = meta["barrier"], meta["overlap"]
+        assert overlap["makespan_s"] < barrier["makespan_s"]
+        # The win is *visible* in the exact time partition: compute and
+        # transfer run simultaneously where the barrier kept them apart.
+        assert (
+            overlap["compute_transfer_overlap_s"]
+            > barrier["compute_transfer_overlap_s"]
+        )
+        for side in (barrier, overlap):
+            assert sum(side["layers"].values()) == pytest.approx(
+                side["makespan_s"], abs=0.05
+            )
+
+
+def _payload(*results):
+    return {"schema": "repro-bench/v1", "results": list(results)}
+
+
+def _result(name, speedup, *, degraded=False, identical=True,
+            baseline_s=1.0, simulated=False):
+    meta = {}
+    if degraded:
+        meta["degraded"] = True
+    if simulated:
+        meta["time_domain"] = "simulated"
+    return {
+        "name": name,
+        "speedup": speedup,
+        "baseline_seconds": baseline_s,
+        "optimized_seconds": baseline_s / speedup,
+        "outputs_identical": identical,
+        "meta": meta,
+    }
+
+
+class TestCompareArtifacts:
+    def test_regression_detected_beyond_threshold(self):
+        old = _payload(_result("a", 2.0))
+        new = _payload(_result("a", 1.7))  # -15%
+        comparison = compare_artifacts(old, new)
+        assert [e["name"] for e in comparison["regressions"]] == ["a"]
+
+    def test_small_drift_is_ok(self):
+        comparison = compare_artifacts(
+            _payload(_result("a", 2.0)), _payload(_result("a", 1.85))
+        )
+        assert comparison["regressions"] == []
+        assert [e["name"] for e in comparison["ok"]] == ["a"]
+
+    def test_improvement_classified(self):
+        comparison = compare_artifacts(
+            _payload(_result("a", 2.0)), _payload(_result("a", 2.5))
+        )
+        assert [e["name"] for e in comparison["improved"]] == ["a"]
+
+    def test_degraded_records_skipped_not_gated(self):
+        old = _payload(_result("fanout", 2.0))
+        new = _payload(_result("fanout", 0.4, degraded=True))
+        comparison = compare_artifacts(old, new)
+        assert comparison["regressions"] == []
+        assert comparison["skipped"][0]["name"] == "fanout"
+        assert "degraded" in comparison["skipped"][0]["reason"]
+
+    def test_non_identical_outputs_skipped(self):
+        comparison = compare_artifacts(
+            _payload(_result("a", 2.0)),
+            _payload(_result("a", 1.0, identical=False)),
+        )
+        assert comparison["regressions"] == []
+        assert "identical" in comparison["skipped"][0]["reason"]
+
+    def test_sub_noise_timings_skipped(self):
+        comparison = compare_artifacts(
+            _payload(_result("a", 2.0, baseline_s=0.003)),
+            _payload(_result("a", 1.0, baseline_s=0.003)),
+        )
+        assert comparison["regressions"] == []
+        assert "noise" in comparison["skipped"][0]["reason"]
+
+    def test_simulated_records_exempt_from_noise_floor(self):
+        comparison = compare_artifacts(
+            _payload(_result("p", 1.10, baseline_s=0.003, simulated=True)),
+            _payload(_result("p", 0.90, baseline_s=0.003, simulated=True)),
+        )
+        assert [e["name"] for e in comparison["regressions"]] == ["p"]
+
+    def test_added_and_retired_benchmarks_skipped(self):
+        comparison = compare_artifacts(
+            _payload(_result("old_only", 2.0)),
+            _payload(_result("new_only", 2.0)),
+        )
+        assert comparison["regressions"] == []
+        reasons = {e["name"]: e["reason"] for e in comparison["skipped"]}
+        assert "old artifact" in reasons["old_only"]
+        assert "new artifact" in reasons["new_only"]
+
+    def test_render_mentions_every_record(self):
+        comparison = compare_artifacts(
+            _payload(_result("a", 2.0), _result("b", 1.0)),
+            _payload(_result("a", 1.0), _result("b", 1.0)),
+        )
+        text = render_comparison(comparison, old_label="OLD.json")
+        assert "OLD.json" in text
+        assert "REGRESSED" in text and "a" in text and "b" in text
+
+
+class TestCompareCLI:
+    """--compare wiring, with the (slow) bench run stubbed out."""
+
+    @pytest.fixture
+    def stubbed_bench(self, smoke_records, monkeypatch):
+        import repro.bench as bench_mod
+
+        monkeypatch.setattr(
+            bench_mod, "run_benchmarks",
+            lambda **kwargs: list(smoke_records),
+        )
+        return smoke_records
+
+    def test_compare_against_self_passes(self, stubbed_bench, tmp_path):
+        old = write_artifact(stubbed_bench, out_dir=tmp_path / "old",
+                             smoke=True, date="2026-01-01")
+        code = main([
+            "bench", "--smoke", "--out", str(tmp_path),
+            "--compare", str(old),
+        ])
+        assert code == 0
+
+    def test_regression_exits_nonzero(self, stubbed_bench, tmp_path, capsys):
+        old = write_artifact(stubbed_bench, out_dir=tmp_path / "old",
+                             smoke=True, date="2026-01-01")
+        doctored = json.loads(old.read_text())
+        for entry in doctored["results"]:
+            if entry["name"] == "pipelined_driver":  # sim-time: always gated
+                entry["speedup"] = entry["speedup"] * 10
+        old.write_text(json.dumps(doctored))
+        code = main([
+            "bench", "--smoke", "--out", str(tmp_path),
+            "--compare", str(old),
+        ])
+        assert code == 1
+        assert "regressed" in capsys.readouterr().err.lower()

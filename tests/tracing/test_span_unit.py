@@ -122,3 +122,80 @@ def test_to_dict_round_trips_schema(tracer):
     assert d["parent_id"] is None
     assert d["attributes"] == {"workflow": "w"}
     assert d["end"] >= d["start"]
+
+
+class TestLayerOverlap:
+    """layer_overlap: seconds two layers spent running simultaneously."""
+
+    @staticmethod
+    def _span(name, category, start, end, span_id, parent_id=0):
+        from repro.tracing import Span
+
+        return Span(name=name, category=category, span_id=span_id,
+                    parent_id=parent_id, start=start, end=end)
+
+    def _root(self, start=0.0, end=100.0):
+        from repro.tracing import Span
+
+        return Span(name="run", category="workflow", span_id=0,
+                    parent_id=None, start=start, end=end)
+
+    def test_disjoint_layers_have_zero_overlap(self):
+        from repro.tracing import layer_overlap
+
+        root = self._root()
+        spans = [
+            root,
+            self._span("c", "compute", 0.0, 10.0, 1),
+            self._span("t", "transfer", 10.0, 20.0, 2),
+        ]
+        assert layer_overlap(spans, root) == 0.0
+
+    def test_partial_overlap_measured_exactly(self):
+        from repro.tracing import layer_overlap
+
+        root = self._root()
+        spans = [
+            root,
+            self._span("c", "compute", 0.0, 30.0, 1),
+            self._span("t", "transfer", 20.0, 50.0, 2),
+        ]
+        assert layer_overlap(spans, root) == pytest.approx(10.0)
+
+    def test_multiple_spans_union_not_double_counted(self):
+        from repro.tracing import layer_overlap
+
+        root = self._root()
+        spans = [
+            root,
+            self._span("c1", "compute", 0.0, 40.0, 1),
+            self._span("c2", "compute", 10.0, 30.0, 2),  # nested in c1
+            self._span("t1", "transfer", 20.0, 60.0, 3),
+        ]
+        # compute covers [0,40], transfer [20,60] -> overlap [20,40].
+        assert layer_overlap(spans, root) == pytest.approx(20.0)
+
+    def test_clipped_to_root_window_and_unfinished_skipped(self):
+        from repro.tracing import layer_overlap
+
+        root = self._root(start=0.0, end=25.0)
+        spans = [
+            root,
+            self._span("c", "compute", 0.0, 100.0, 1),
+            self._span("t", "transfer", 20.0, 100.0, 2),
+            self._span("u", "transfer", 0.0, None, 3),  # unfinished
+        ]
+        assert layer_overlap(spans, root) == pytest.approx(5.0)
+
+    def test_custom_layer_pair(self):
+        from repro.tracing import layer_overlap
+
+        root = self._root()
+        spans = [
+            root,
+            self._span("s", "scheduling", 0.0, 10.0, 1),
+            self._span("q", "queueing", 5.0, 10.0, 2),
+        ]
+        assert layer_overlap(spans, root, "scheduling", "queueing") == (
+            pytest.approx(5.0)
+        )

@@ -1,0 +1,333 @@
+"""Tests for transfer/compute pipelining: StreamChannel + overlap mode.
+
+Covers the stream primitive in isolation, the driver's overlap launch
+rule, failure semantics (retry supersession, permanent breakage), and
+the checkpoint/resume contract under a mid-overlap kill — the inverted
+completion order (consumer done, producer still streaming) that only
+pipelining can produce must resume to identical final artifacts.
+"""
+
+import numpy as np
+import pytest
+
+from repro.errors import StreamBrokenError
+from repro.sim.environment import Environment
+from repro.testbed import build_nautilus_testbed
+from repro.workflow import (
+    END,
+    StreamChannel,
+    Workflow,
+    WorkflowCheckpoint,
+    WorkflowDriver,
+    build_connect_workflow,
+)
+from repro.workflow.step import StepContext, WorkflowStep
+
+
+# ---------------------------------------------------------------------------
+# StreamChannel unit tests (bare sim kernel, no testbed)
+# ---------------------------------------------------------------------------
+
+
+@pytest.fixture
+def env():
+    return Environment()
+
+
+def _drive(env, gen):
+    """Run a consumer generator to completion; return its value."""
+    box = {}
+
+    def wrapper():
+        box["value"] = yield from gen
+        if False:  # pragma: no cover - make wrapper a generator
+            yield
+
+    proc = env.process(wrapper())
+    env.run(until=proc)
+    return box["value"]
+
+
+class TestStreamChannel:
+    def test_items_in_order_then_end(self, env):
+        chan = StreamChannel(env, "producer")
+
+        def producer():
+            yield env.timeout(1.0)
+            chan.put("a")
+            yield env.timeout(1.0)
+            chan.put("b")
+            chan.close()
+
+        env.process(producer())
+
+        def consumer():
+            got = []
+            index = 0
+            while True:
+                item = yield from chan.next_item(index)
+                if item is END:
+                    return got
+                got.append(item)
+                index += 1
+
+        assert _drive(env, consumer()) == ["a", "b"]
+
+    def test_milestone_payload_and_default(self, env):
+        chan = StreamChannel(env, "producer")
+
+        def producer():
+            yield env.timeout(2.0)
+            chan.mark("ready", {"n": 3})
+            chan.close()
+
+        env.process(producer())
+        payload = _drive(env, chan.wait_milestone("ready"))
+        assert payload == {"n": 3}
+        # Clean close without the milestone -> default.
+        assert _drive(env, chan.wait_milestone("absent", default="fb")) == "fb"
+
+    def test_error_close_raises_stream_broken(self, env):
+        chan = StreamChannel(env, "producer")
+
+        def producer():
+            yield env.timeout(1.0)
+            chan.close(error="boom")
+
+        env.process(producer())
+
+        def consumer():
+            try:
+                yield from chan.wait_milestone("ready")
+            except StreamBrokenError as exc:
+                return ("broken", exc.producer)
+            return ("ok", None)
+
+        assert _drive(env, consumer()) == ("broken", "producer")
+
+    def test_supersession_moves_blocked_consumers(self, env):
+        first = StreamChannel(env, "producer")
+        second = StreamChannel(env, "producer")
+
+        def producer():
+            yield env.timeout(1.0)
+            first.supersede(second)   # the retry attempt takes over
+            yield env.timeout(1.0)
+            second.mark("ready", 42)
+            second.close()
+
+        env.process(producer())
+        # Consumer waits on the ORIGINAL channel, follows the link.
+        assert _drive(env, first.wait_milestone("ready")) == 42
+
+    def test_put_on_closed_stream_rejected(self, env):
+        chan = StreamChannel(env, "producer")
+        chan.close()
+        with pytest.raises(StreamBrokenError):
+            chan.put("late")
+
+
+# ---------------------------------------------------------------------------
+# Driver overlap mode on synthetic steps
+# ---------------------------------------------------------------------------
+
+
+class StreamingProducer(WorkflowStep):
+    """Marks "content-ready" at t+5, keeps transferring until t+50."""
+
+    streams_output = True
+    default_params = {"content_at": 5.0, "finish_at": 50.0, "fail_once": False}
+
+    def __init__(self, **kwargs):
+        kwargs.setdefault("name", "producer")
+        super().__init__(**kwargs)
+        self.attempts = 0
+
+    def execute(self, ctx: StepContext):
+        self.attempts += 1
+        stream = ctx.stream_out()
+        yield ctx.env.timeout(float(ctx.params["content_at"]))
+        if ctx.params["fail_once"] and self.attempts == 1:
+            raise RuntimeError("transfer flapped")
+        if stream is not None:
+            stream.mark("content-ready", {"attempt": self.attempts})
+        yield ctx.env.timeout(
+            float(ctx.params["finish_at"]) - float(ctx.params["content_at"])
+        )
+        ctx.report.artifacts["attempt"] = self.attempts
+
+
+class StreamingConsumer(WorkflowStep):
+    """Starts on launch, waits for content, computes for 25s."""
+
+    stream_inputs = ("producer",)
+    default_params = {"compute_s": 25.0}
+
+    def __init__(self, **kwargs):
+        kwargs.setdefault("name", "consumer")
+        super().__init__(**kwargs)
+
+    def execute(self, ctx: StepContext):
+        ctx.report.artifacts["started_at"] = ctx.env.now
+        chan = ctx.stream_in("producer")
+        if chan is not None:
+            payload = yield from chan.wait_milestone("content-ready",
+                                                     default=None)
+        else:
+            payload = None
+        content = (
+            payload if payload is not None
+            else ctx.artifacts.get("producer", {})
+        )
+        ctx.report.artifacts["content_attempt"] = (
+            content.get("attempt") if content else None
+        )
+        yield ctx.env.timeout(float(ctx.params["compute_s"]))
+        ctx.report.artifacts["finished_at"] = ctx.env.now
+
+
+def _pipeline_workflow(**producer_params):
+    producer = StreamingProducer(params=producer_params, max_retries=1,
+                                 retry_delay_s=2.0)
+    consumer = StreamingConsumer().after("producer")
+    return Workflow("pipeline", [producer, consumer])
+
+
+@pytest.fixture
+def testbed():
+    return build_nautilus_testbed(seed=3, scale=0.0001)
+
+
+class TestOverlapDriver:
+    def test_barrier_vs_overlap_makespan(self):
+        # Barrier: 50 + 25 = 75.  Overlap: consumer starts at 0, waits
+        # for content at t=5, computes to t=30; producer bounds at t=50.
+        barrier = WorkflowDriver(build_nautilus_testbed(seed=3, scale=0.0001)).run(
+            _pipeline_workflow(), overlap=False
+        )
+        overlap = WorkflowDriver(build_nautilus_testbed(seed=3, scale=0.0001)).run(
+            _pipeline_workflow(), overlap=True
+        )
+        assert barrier.succeeded and overlap.succeeded
+        assert barrier.total_duration_s == pytest.approx(75.0)
+        assert overlap.total_duration_s == pytest.approx(50.0)
+        # The consumer finished BEFORE its producer — only overlap can.
+        c, p = overlap.step("consumer"), overlap.step("producer")
+        assert c.end_time < p.end_time
+        assert overlap.step("consumer").artifacts["content_attempt"] == 1
+
+    def test_overlap_off_by_default_consumer_waits(self, testbed):
+        report = WorkflowDriver(testbed).run(_pipeline_workflow())
+        assert report.step("consumer").start_time == pytest.approx(50.0)
+        # Barrier-mode consumers see no stream and fall back to the
+        # completed producer's artifacts — same content, later start.
+        assert report.step("consumer").artifacts["content_attempt"] == 1
+
+    def test_producer_retry_supersedes_stream(self, testbed):
+        report = WorkflowDriver(testbed).run(
+            _pipeline_workflow(fail_once=True), overlap=True
+        )
+        assert report.succeeded
+        assert report.step("producer").retries == 1
+        # The consumer transparently re-waited on the retry attempt's
+        # channel and consumed ITS milestone.
+        assert report.step("consumer").artifacts["content_attempt"] == 2
+
+    def test_producer_permanent_failure_breaks_consumer(self, testbed):
+        producer = StreamingProducer(params={"fail_once": True})  # no retries
+        consumer = StreamingConsumer().after("producer")
+        report = WorkflowDriver(testbed).run(
+            Workflow("pipeline", [producer, consumer]), overlap=True
+        )
+        assert not report.succeeded
+        assert "StreamBrokenError" in report.step("consumer").error
+
+
+class TestMidOverlapKillResume:
+    def test_resume_replays_only_unfinished_steps(self):
+        """Kill while the producer is still streaming but the consumer
+        already finished; resume must replay only the producer and end
+        with artifacts identical to an uninterrupted run."""
+        reference = WorkflowDriver(
+            build_nautilus_testbed(seed=3, scale=0.0001)
+        ).run(_pipeline_workflow(), overlap=True)
+
+        ckpt = WorkflowCheckpoint("pipeline")
+        killed = WorkflowDriver(
+            build_nautilus_testbed(seed=3, scale=0.0001)
+        ).run(
+            _pipeline_workflow(), overlap=True, checkpoint=ckpt,
+            deadline_s=40.0,  # consumer done at 30, producer runs to 50
+        )
+        assert not killed.succeeded
+        assert ckpt.completed() == {"consumer"}
+
+        resumed = WorkflowDriver(
+            build_nautilus_testbed(seed=3, scale=0.0001)
+        ).run(_pipeline_workflow(), overlap=True, resume_from=ckpt)
+        assert resumed.succeeded
+        assert resumed.step("consumer").resumed
+        assert not resumed.step("producer").resumed
+
+        def final_artifacts(report):
+            return {
+                s.name: {
+                    k: v for k, v in s.to_dict()["artifacts"].items()
+                    # Timestamps legitimately differ across a resume
+                    # (the resumed run replays from t=0).
+                    if k not in ("started_at", "finished_at")
+                }
+                for s in report.steps
+            }
+
+        assert final_artifacts(resumed) == final_artifacts(reference)
+
+
+# ---------------------------------------------------------------------------
+# The real CONNECT chain, pipelined
+# ---------------------------------------------------------------------------
+
+
+CONNECT_OVERRIDES = {
+    "training": {
+        "train_timesteps": 24,
+        "real_train_steps": 10,
+        "real_train_timesteps": 8,
+    },
+    "inference": {"real_test_timesteps": 6, "real_shards": 2},
+}
+
+
+class TestConnectOverlap:
+    @pytest.fixture(scope="class")
+    def both_runs(self):
+        out = {}
+        for overlap in (False, True):
+            tb = build_nautilus_testbed(seed=42, scale=0.002)
+            wf = build_connect_workflow(tb, overrides=CONNECT_OVERRIDES)
+            out[overlap] = WorkflowDriver(tb).run(wf, overlap=overlap)
+        return out
+
+    def test_both_modes_succeed(self, both_runs):
+        assert both_runs[False].succeeded
+        assert both_runs[True].succeeded
+
+    def test_overlap_shrinks_makespan(self, both_runs):
+        assert (
+            both_runs[True].total_duration_s
+            < both_runs[False].total_duration_s
+        )
+        # Training launched while the download was still running.
+        training = both_runs[True].step("training")
+        download = both_runs[True].step("download")
+        assert training.start_time < download.end_time
+
+    def test_artifacts_identical_across_modes(self, both_runs):
+        a = {s.name: s.to_dict()["artifacts"] for s in both_runs[False].steps}
+        b = {s.name: s.to_dict()["artifacts"] for s in both_runs[True].steps}
+        assert a == b
+
+    def test_real_ml_scores_preserved(self, both_runs):
+        for report in both_runs.values():
+            inference = report.step("inference")
+            assert "voxel_f1" in inference.artifacts
